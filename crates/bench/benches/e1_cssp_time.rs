@@ -1,0 +1,31 @@
+//! E1: wall-clock of simulating the paper's recursive CSSP vs the baselines
+//! (the *simulated-round* tables are produced by the `experiments` binary).
+
+use congest_bench::weighted_workload;
+use congest_graph::NodeId;
+use congest_sssp::baseline::{distributed_bellman_ford, distributed_dijkstra};
+use congest_sssp::cssp::cssp;
+use congest_sssp::AlgoConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_sssp(c: &mut Criterion) {
+    let cfg = AlgoConfig::default();
+    let mut group = c.benchmark_group("e1_sssp_time");
+    group.sample_size(10);
+    for n in [32u32, 64, 128] {
+        let g = weighted_workload(n, 7);
+        group.bench_with_input(BenchmarkId::new("recursive_cssp", n), &g, |b, g| {
+            b.iter(|| cssp(g, &[NodeId(0)], &cfg).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("bellman_ford", n), &g, |b, g| {
+            b.iter(|| distributed_bellman_ford(g, &[NodeId(0)], &cfg).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("distributed_dijkstra", n), &g, |b, g| {
+            b.iter(|| distributed_dijkstra(g, &[NodeId(0)], &cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sssp);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E2/E3: congestion and message complexity on the Bellman–Ford-adversarial
+//! workload (simulated-round tables come from the `experiments` binary; this
+//! bench times the runs).
+
+use congest_bench::bellman_ford_adversarial;
+use congest_graph::NodeId;
+use congest_sssp::baseline::distributed_bellman_ford;
+use congest_sssp::cssp::cssp;
+use congest_sssp::AlgoConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_congestion(c: &mut Criterion) {
+    let cfg = AlgoConfig::default();
+    let mut group = c.benchmark_group("e2_congestion_adversarial");
+    group.sample_size(10);
+    for n in [64u32, 128] {
+        let g = bellman_ford_adversarial(n);
+        group.bench_with_input(BenchmarkId::new("recursive_cssp", n), &g, |b, g| {
+            b.iter(|| {
+                let run = cssp(g, &[NodeId(0)], &cfg).unwrap();
+                run.metrics.max_congestion()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bellman_ford", n), &g, |b, g| {
+            b.iter(|| {
+                let run = distributed_bellman_ford(g, &[NodeId(0)], &cfg).unwrap();
+                run.metrics.max_congestion()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_congestion);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E4: the approximate cutter (Lemma 2.1) across approximation parameters.
+
+use congest_bench::weighted_workload;
+use congest_graph::NodeId;
+use congest_sssp::{approx, AlgoConfig, SourceOffset};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_cutter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_cutter");
+    group.sample_size(10);
+    let g = weighted_workload(96, 11);
+    let w = g.distance_upper_bound() / 4 + 1;
+    for inv in [2u64, 4, 8] {
+        let cfg = AlgoConfig::default().with_epsilon_inverse(inv);
+        group.bench_with_input(BenchmarkId::new("eps_inverse", inv), &cfg, |b, cfg| {
+            b.iter(|| {
+                approx::approximate_cssp(&g, &[SourceOffset::plain(NodeId(0))], w, cfg).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cutter);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! E5: low-energy BFS vs always-awake BFS.
+
+use congest_graph::{generators, NodeId};
+use congest_sssp::{bfs, energy, AlgoConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_energy_bfs(c: &mut Criterion) {
+    let cfg = AlgoConfig::default();
+    let mut group = c.benchmark_group("e5_energy_bfs");
+    group.sample_size(10);
+    for n in [64u32, 128] {
+        let g = generators::path(n, 1);
+        group.bench_with_input(BenchmarkId::new("low_energy_bfs", n), &g, |b, g| {
+            b.iter(|| energy::low_energy_bfs(g, &[NodeId(0)], n as u64, &cfg).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("always_awake_bfs", n), &g, |b, g| {
+            b.iter(|| bfs::bfs(g, &[NodeId(0)], &cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_energy_bfs);
+criterion_main!(benches);

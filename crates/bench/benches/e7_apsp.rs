@@ -1,0 +1,23 @@
+//! E7: APSP via `n` concurrent SSSP instances under random-delay scheduling.
+
+use congest_bench::weighted_workload;
+use congest_sssp::apsp::{apsp, ApspConfig};
+use congest_sssp::AlgoConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_apsp(c: &mut Criterion) {
+    let cfg = AlgoConfig::default();
+    let apsp_cfg = ApspConfig::default();
+    let mut group = c.benchmark_group("e7_apsp");
+    group.sample_size(10);
+    for n in [16u32, 24] {
+        let g = weighted_workload(n, 3);
+        group.bench_with_input(BenchmarkId::new("apsp_scheduled", n), &g, |b, g| {
+            b.iter(|| apsp(g, &cfg, &apsp_cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_apsp);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! E8: deterministic sparse-cover and layered-cover construction.
+
+use congest_cover::{LayeredCover, SparseCover};
+use congest_graph::generators;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_cover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_cover_construction");
+    group.sample_size(10);
+    for n in [64u32, 128] {
+        let g = generators::random_connected(n, 2 * n as u64, 5);
+        group.bench_with_input(BenchmarkId::new("sparse_cover_d2", n), &g, |b, g| {
+            b.iter(|| SparseCover::construct(g, 2))
+        });
+        group.bench_with_input(BenchmarkId::new("layered_cover", n), &g, |b, g| {
+            b.iter(|| LayeredCover::construct_default(g, n as u64))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cover);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! E9: the Boruvka maximal-spanning-forest subroutine (Theorems 2.2 / 3.1).
+
+use congest_graph::generators;
+use congest_sssp::spanning_forest::spanning_forest;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_forest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_spanning_forest");
+    group.sample_size(10);
+    for n in [128u32, 256] {
+        let g = generators::disjoint_copies(&generators::random_connected(n / 2, n as u64, 9), 2);
+        group.bench_with_input(BenchmarkId::new("always_awake", n), &g, |b, g| {
+            b.iter(|| spanning_forest(g, false))
+        });
+        group.bench_with_input(BenchmarkId::new("low_energy", n), &g, |b, g| {
+            b.iter(|| spanning_forest(g, true))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forest);
+criterion_main!(benches);

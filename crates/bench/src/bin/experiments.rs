@@ -1,0 +1,148 @@
+//! Prints the experiment tables recorded in `EXPERIMENTS.md`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p congest-bench --bin experiments            # quick
+//! cargo run --release -p congest-bench --bin experiments -- full    # full sweep
+//! cargo run --release -p congest-bench --bin experiments -- full json  # + JSON dump
+//! ```
+
+use congest_bench::{
+    e10_recursion, e1_e3_sssp_comparison, e4_cutter, e5_energy_bfs, e6_energy_cssp, e7_apsp,
+    e8_cover_quality, e9_spanning_forest, Scale,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "full") { Scale::Full } else { Scale::Quick };
+    let json = args.iter().any(|a| a == "json");
+    println!("# Experiment tables ({scale:?} scale)\n");
+
+    let e1 = e1_e3_sssp_comparison(scale);
+    println!("## E1-E3: SSSP time, congestion, and messages vs baselines\n");
+    println!("| workload | algorithm | n | m | rounds | messages | max congestion | max energy |");
+    println!("|---|---|---:|---:|---:|---:|---:|---:|");
+    for r in &e1 {
+        println!(
+            "| {} | {} | {} | {} | {} | {} | {} | {} |",
+            r.workload, r.algorithm, r.n, r.m, r.rounds, r.messages, r.max_congestion, r.max_energy
+        );
+    }
+
+    let e4 = e4_cutter(scale);
+    println!("\n## E4: approximate cutter (Lemma 2.1)\n");
+    println!("| n | W | 1/eps | rounds | max congestion | error bound | max observed error | dropped within 2W |");
+    println!("|---:|---:|---:|---:|---:|---:|---:|---:|");
+    for r in &e4 {
+        println!(
+            "| {} | {} | {} | {} | {} | {} | {} | {} |",
+            r.n,
+            r.w,
+            r.eps_inverse,
+            r.rounds,
+            r.max_congestion,
+            r.error_bound,
+            r.max_observed_error,
+            r.dropped_within_2w
+        );
+    }
+
+    let e5 = e5_energy_bfs(scale);
+    println!("\n## E5: low-energy BFS vs always-awake BFS\n");
+    println!("| workload | algorithm | n | D | rounds | max energy | mean energy | slowdown | megaround | levels |");
+    println!("|---|---|---:|---:|---:|---:|---:|---:|---:|---:|");
+    for r in &e5 {
+        println!(
+            "| {} | {} | {} | {} | {} | {} | {:.1} | {} | {} | {} |",
+            r.workload,
+            r.algorithm,
+            r.n,
+            r.diameter,
+            r.rounds,
+            r.max_energy,
+            r.mean_energy,
+            r.slowdown,
+            r.megaround,
+            r.cover_levels
+        );
+    }
+
+    let e6 = e6_energy_cssp(scale);
+    println!("\n## E6: low-energy weighted CSSP vs always-awake Bellman-Ford\n");
+    println!("| algorithm | n | D | rounds | max energy | mean energy | megaround | levels |");
+    println!("|---|---:|---:|---:|---:|---:|---:|---:|");
+    for r in &e6 {
+        println!(
+            "| {} | {} | {} | {} | {} | {:.1} | {} | {} |",
+            r.algorithm, r.n, r.diameter, r.rounds, r.max_energy, r.mean_energy, r.megaround, r.cover_levels
+        );
+    }
+
+    let e7 = e7_apsp(scale);
+    println!("\n## E7: APSP via random-delay scheduling\n");
+    println!("| n | m | edge budget/round | concurrent makespan | sequential rounds | speedup | max instance congestion |");
+    println!("|---:|---:|---:|---:|---:|---:|---:|");
+    for r in &e7 {
+        println!(
+            "| {} | {} | {} | {} | {} | {:.2} | {} |",
+            r.n,
+            r.m,
+            r.edge_budget,
+            r.concurrent_makespan,
+            r.sequential_rounds,
+            r.speedup,
+            r.max_instance_congestion
+        );
+    }
+
+    let e8 = e8_cover_quality(scale);
+    println!("\n## E8: sparse-cover quality\n");
+    println!("| n | d | clusters | colors | max membership | mean membership | max tree depth | stretch | max edge tree load |");
+    println!("|---:|---:|---:|---:|---:|---:|---:|---:|---:|");
+    for r in &e8 {
+        println!(
+            "| {} | {} | {} | {} | {} | {:.2} | {} | {:.1} | {} |",
+            r.n,
+            r.d,
+            r.clusters,
+            r.colors,
+            r.max_membership,
+            r.mean_membership,
+            r.max_tree_depth,
+            r.stretch,
+            r.max_edge_tree_load
+        );
+    }
+
+    let e9 = e9_spanning_forest(scale);
+    println!("\n## E9: maximal spanning forest (Boruvka)\n");
+    println!("| n | m | components | phases | rounds | max congestion | low-energy max | always-awake max |");
+    println!("|---:|---:|---:|---:|---:|---:|---:|---:|");
+    for r in &e9 {
+        println!(
+            "| {} | {} | {} | {} | {} | {} | {} | {} |",
+            r.n, r.m, r.components, r.phases, r.rounds, r.max_congestion, r.low_energy_max, r.always_awake_max
+        );
+    }
+
+    let e10 = e10_recursion(scale);
+    println!("\n## E10: recursion structure (Lemma 2.4 / Corollary 2.5)\n");
+    println!("| n | levels | subproblems | max participation | total subproblem size | total / (n * levels) |");
+    println!("|---:|---:|---:|---:|---:|---:|");
+    for r in &e10 {
+        println!(
+            "| {} | {} | {} | {} | {} | {:.2} |",
+            r.n, r.levels, r.subproblems, r.max_participation, r.total_subproblem_size, r.normalized_total
+        );
+    }
+
+    if json {
+        let dump = serde_json::json!({
+            "e1_e3": e1, "e4": e4, "e5": e5, "e6": e6, "e7": e7,
+            "e8": e8, "e9": e9, "e10": e10,
+        });
+        println!("\n## JSON\n");
+        println!("{}", serde_json::to_string_pretty(&dump).expect("serializable rows"));
+    }
+}

@@ -1,0 +1,610 @@
+//! Experiment harness reproducing the complexity claims of the paper.
+//!
+//! The paper is a theory paper with no empirical section, so the "tables" to
+//! reproduce are its stated bounds (see `EXPERIMENTS.md` at the repository
+//! root). Each `eN_*` function here runs the corresponding experiment and
+//! returns serializable rows; the `experiments` binary prints them as
+//! markdown tables, and the Criterion benches under `benches/` time the same
+//! workloads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use congest_cover::sparse_cover::SparseCover;
+use congest_graph::{generators, properties, Graph, NodeId};
+use congest_sssp::apsp::{apsp, ApspConfig};
+use congest_sssp::baseline::{distributed_bellman_ford, distributed_dijkstra};
+use congest_sssp::cssp::cssp;
+use congest_sssp::energy::{low_energy_bfs, low_energy_cssp};
+use congest_sssp::spanning_forest::spanning_forest;
+use congest_sssp::{approx, bfs, AlgoConfig, SourceOffset};
+use serde::{Deserialize, Serialize};
+
+/// Scale of an experiment run: `Quick` keeps every sweep small enough for CI
+/// and unit tests; `Full` uses the sizes recorded in `EXPERIMENTS.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Small sizes (seconds).
+    Quick,
+    /// The sizes recorded in `EXPERIMENTS.md` (minutes).
+    Full,
+}
+
+impl Scale {
+    fn pick<'a, T>(&self, quick: &'a [T], full: &'a [T]) -> &'a [T] {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// The adversarial workload for Bellman–Ford congestion (E2/E3): a unit-weight
+/// path `0 - 1 - … - (k-1)` plus "shortcut" edges `(0, i)` of weight `2i`.
+/// Every path node's estimate improves `Θ(i)` times, so Bellman–Ford pushes
+/// `Θ(n)` messages over the path edges while the exact distances are simply
+/// `dist(0, i) = i`.
+pub fn bellman_ford_adversarial(k: u32) -> Graph {
+    let mut b = Graph::builder(k);
+    for i in 0..k - 1 {
+        b.add_edge(i, i + 1, 1).expect("path edges are valid");
+    }
+    for i in 2..k {
+        b.add_edge(0, i, 2 * i as u64).expect("shortcut edges are valid");
+    }
+    b.build()
+}
+
+/// A weighted random connected workload shared by E1–E3.
+pub fn weighted_workload(n: u32, seed: u64) -> Graph {
+    let base = generators::random_connected(n, 2 * n as u64, seed);
+    generators::with_random_weights(&base, (n as u64).max(4), seed ^ 0x5eed)
+}
+
+// ---------------------------------------------------------------------------
+// E1–E3: SSSP time / congestion / messages vs the baselines
+// ---------------------------------------------------------------------------
+
+/// One measurement row of the SSSP comparison experiments (E1–E3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SsspRow {
+    /// Workload label.
+    pub workload: String,
+    /// Algorithm label.
+    pub algorithm: String,
+    /// Number of nodes.
+    pub n: u32,
+    /// Number of edges.
+    pub m: u32,
+    /// Rounds (time complexity).
+    pub rounds: u64,
+    /// Total messages.
+    pub messages: u64,
+    /// Maximum per-edge congestion.
+    pub max_congestion: u64,
+    /// Maximum per-node energy.
+    pub max_energy: u64,
+}
+
+/// Runs the recursive CSSP, distributed Bellman–Ford, and distributed
+/// Dijkstra on the same workloads (E1: rounds, E2: congestion, E3: messages).
+pub fn e1_e3_sssp_comparison(scale: Scale) -> Vec<SsspRow> {
+    let quick = [32u32, 64];
+    let full = [32u32, 64, 128, 256, 512];
+    let sizes = scale.pick(&quick, &full);
+    let cfg = AlgoConfig::default();
+    let mut rows = Vec::new();
+    for &n in sizes {
+        for (workload, g) in [
+            ("random-weighted".to_string(), weighted_workload(n, 7)),
+            ("bf-adversarial".to_string(), bellman_ford_adversarial(n)),
+        ] {
+            let source = NodeId(0);
+            let run = cssp(&g, &[source], &cfg).expect("cssp");
+            rows.push(SsspRow {
+                workload: workload.clone(),
+                algorithm: "recursive-cssp (paper)".into(),
+                n,
+                m: g.edge_count(),
+                rounds: run.metrics.rounds,
+                messages: run.metrics.messages,
+                max_congestion: run.metrics.max_congestion(),
+                max_energy: run.metrics.max_energy(),
+            });
+            let bf = distributed_bellman_ford(&g, &[source], &cfg).expect("bellman-ford");
+            rows.push(SsspRow {
+                workload: workload.clone(),
+                algorithm: "bellman-ford".into(),
+                n,
+                m: g.edge_count(),
+                rounds: bf.metrics.rounds,
+                messages: bf.metrics.messages,
+                max_congestion: bf.metrics.max_congestion(),
+                max_energy: bf.metrics.max_energy(),
+            });
+            let dj = distributed_dijkstra(&g, &[source], &cfg).expect("dijkstra");
+            rows.push(SsspRow {
+                workload,
+                algorithm: "distributed-dijkstra".into(),
+                n,
+                m: g.edge_count(),
+                rounds: dj.metrics.rounds,
+                messages: dj.metrics.messages,
+                max_congestion: dj.metrics.max_congestion(),
+                max_energy: dj.metrics.max_energy(),
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// E4: the approximate cutter (Lemma 2.1)
+// ---------------------------------------------------------------------------
+
+/// One measurement row of the cutter experiment (E4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CutterRow {
+    /// Number of nodes.
+    pub n: u32,
+    /// The threshold `W`.
+    pub w: u64,
+    /// `1/ε`.
+    pub eps_inverse: u64,
+    /// Rounds of the waiting BFS.
+    pub rounds: u64,
+    /// Maximum per-edge congestion.
+    pub max_congestion: u64,
+    /// The guaranteed additive error bound.
+    pub error_bound: u64,
+    /// The largest observed additive error against exact distances.
+    pub max_observed_error: u64,
+    /// Nodes within `2W` that were (incorrectly) dropped — must be 0.
+    pub dropped_within_2w: u64,
+}
+
+/// Measures the cutter's error, rounds, and congestion (Lemma 2.1 / E4).
+pub fn e4_cutter(scale: Scale) -> Vec<CutterRow> {
+    let quick = [2u64, 4];
+    let full = [2u64, 4, 8];
+    let epsilons = scale.pick(&quick, &full);
+    let sizes: &[u32] = match scale {
+        Scale::Quick => &[48],
+        Scale::Full => &[64, 128, 256],
+    };
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let g = weighted_workload(n, 11);
+        let w = g.distance_upper_bound() / 4 + 1;
+        let truth = congest_graph::sequential::dijkstra(&g, &[NodeId(0)]);
+        for &inv in epsilons {
+            let cfg = AlgoConfig::default().with_epsilon_inverse(inv);
+            let out =
+                approx::approximate_cssp(&g, &[SourceOffset::plain(NodeId(0))], w, &cfg).unwrap();
+            let mut max_err = 0u64;
+            let mut dropped = 0u64;
+            for v in g.nodes() {
+                match (out.estimates[v.index()].finite(), truth.distance(v).finite()) {
+                    (Some(est), Some(t)) => max_err = max_err.max(est.saturating_sub(t)),
+                    (None, Some(t)) if t <= 2 * w => dropped += 1,
+                    _ => {}
+                }
+            }
+            rows.push(CutterRow {
+                n,
+                w,
+                eps_inverse: inv,
+                rounds: out.metrics.rounds,
+                max_congestion: out.metrics.max_congestion(),
+                error_bound: out.error_bound,
+                max_observed_error: max_err,
+                dropped_within_2w: dropped,
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// E5: low-energy BFS vs always-awake BFS
+// ---------------------------------------------------------------------------
+
+/// One measurement row of the energy experiments (E5/E6).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyRow {
+    /// Workload label.
+    pub workload: String,
+    /// Algorithm label.
+    pub algorithm: String,
+    /// Number of nodes.
+    pub n: u32,
+    /// Hop diameter of the workload.
+    pub diameter: u64,
+    /// Rounds.
+    pub rounds: u64,
+    /// Maximum per-node energy (the paper's energy complexity).
+    pub max_energy: u64,
+    /// Mean per-node energy.
+    pub mean_energy: f64,
+    /// Slowdown / megaround / cover levels (0 for the baselines).
+    pub slowdown: u64,
+    /// Megaround width.
+    pub megaround: u64,
+    /// Layered-cover levels.
+    pub cover_levels: u64,
+}
+
+/// Compares the low-energy BFS (Theorem 3.13/3.14) against the always-awake
+/// BFS baseline on growing-diameter workloads (E5).
+pub fn e5_energy_bfs(scale: Scale) -> Vec<EnergyRow> {
+    let quick = [64u32, 128];
+    let full = [64u32, 128, 256, 512];
+    let sizes = scale.pick(&quick, &full);
+    let cfg = AlgoConfig::default();
+    let mut rows = Vec::new();
+    for &n in sizes {
+        for (workload, g) in [
+            ("path".to_string(), generators::path(n, 1)),
+            ("grid".to_string(), {
+                let side = (n as f64).sqrt().ceil() as u32;
+                generators::grid(side, side, 1)
+            }),
+        ] {
+            let diameter = properties::hop_diameter(&g);
+            let run = low_energy_bfs(&g, &[NodeId(0)], diameter, &cfg).expect("low-energy bfs");
+            rows.push(EnergyRow {
+                workload: workload.clone(),
+                algorithm: "low-energy-bfs (paper)".into(),
+                n: g.node_count(),
+                diameter,
+                rounds: run.metrics.rounds,
+                max_energy: run.metrics.max_energy(),
+                mean_energy: run.metrics.mean_energy(),
+                slowdown: run.slowdown,
+                megaround: run.megaround,
+                cover_levels: run.cover_levels as u64,
+            });
+            let naive = bfs::bfs(&g, &[NodeId(0)], &cfg).expect("naive bfs");
+            rows.push(EnergyRow {
+                workload,
+                algorithm: "always-awake-bfs".into(),
+                n: g.node_count(),
+                diameter,
+                rounds: naive.metrics.rounds,
+                max_energy: naive.metrics.max_energy(),
+                mean_energy: naive.metrics.mean_energy(),
+                slowdown: 0,
+                megaround: 0,
+                cover_levels: 0,
+            });
+        }
+    }
+    rows
+}
+
+/// Compares the low-energy weighted CSSP (Theorem 3.15) against the
+/// always-awake Bellman–Ford energy baseline (E6).
+pub fn e6_energy_cssp(scale: Scale) -> Vec<EnergyRow> {
+    let quick = [32u32, 48];
+    let full = [32u32, 64, 96, 128];
+    let sizes = scale.pick(&quick, &full);
+    let cfg = AlgoConfig::default();
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let g = weighted_workload(n, 23);
+        let diameter = properties::hop_diameter(&g);
+        let run = low_energy_cssp(&g, &[NodeId(0)], &cfg).expect("low-energy cssp");
+        rows.push(EnergyRow {
+            workload: "random-weighted".into(),
+            algorithm: "low-energy-cssp (paper)".into(),
+            n,
+            diameter,
+            rounds: run.metrics.rounds,
+            max_energy: run.metrics.max_energy(),
+            mean_energy: run.metrics.mean_energy(),
+            slowdown: 0,
+            megaround: run.megaround,
+            cover_levels: run.cover_levels as u64,
+        });
+        let bf = distributed_bellman_ford(&g, &[NodeId(0)], &cfg).expect("bellman-ford");
+        rows.push(EnergyRow {
+            workload: "random-weighted".into(),
+            algorithm: "bellman-ford (always awake)".into(),
+            n,
+            diameter,
+            rounds: bf.metrics.rounds,
+            max_energy: bf.metrics.max_energy(),
+            mean_energy: bf.metrics.mean_energy(),
+            slowdown: 0,
+            megaround: 0,
+            cover_levels: 0,
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// E7: APSP via random-delay scheduling
+// ---------------------------------------------------------------------------
+
+/// One measurement row of the APSP experiment (E7).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApspRow {
+    /// Number of nodes.
+    pub n: u32,
+    /// Number of edges.
+    pub m: u32,
+    /// Per-round per-edge budget used by the scheduler.
+    pub edge_budget: u32,
+    /// Makespan of the concurrent random-delay schedule (the APSP time).
+    pub concurrent_makespan: u64,
+    /// Cost of running the `n` SSSP instances one after another.
+    pub sequential_rounds: u64,
+    /// `sequential / concurrent`.
+    pub speedup: f64,
+    /// Maximum per-edge congestion of any single SSSP instance.
+    pub max_instance_congestion: u64,
+}
+
+/// Runs the APSP experiment (E7).
+pub fn e7_apsp(scale: Scale) -> Vec<ApspRow> {
+    let quick = [16u32, 24];
+    let full = [16u32, 32, 48, 64];
+    let sizes = scale.pick(&quick, &full);
+    let cfg = AlgoConfig::default();
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let g = weighted_workload(n, 3);
+        let apsp_cfg = ApspConfig { seed: 1, ..ApspConfig::default() };
+        let run = apsp(&g, &cfg, &apsp_cfg).expect("apsp");
+        let budget = ((n.max(2) as f64).log2().ceil() as u32) + 1;
+        rows.push(ApspRow {
+            n,
+            m: g.edge_count(),
+            edge_budget: budget,
+            concurrent_makespan: run.schedule.makespan,
+            sequential_rounds: run.sequential_rounds,
+            speedup: run.sequential_rounds as f64 / run.schedule.makespan.max(1) as f64,
+            max_instance_congestion: run.max_instance_congestion,
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// E8: sparse-cover quality
+// ---------------------------------------------------------------------------
+
+/// One measurement row of the cover-quality experiment (E8).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoverRow {
+    /// Number of nodes.
+    pub n: u32,
+    /// Cover radius `d`.
+    pub d: u64,
+    /// Number of clusters.
+    pub clusters: u64,
+    /// Number of colors (`O(log n)` claimed).
+    pub colors: u32,
+    /// Maximum clusters per node (`O(log n)` claimed).
+    pub max_membership: u64,
+    /// Mean clusters per node.
+    pub mean_membership: f64,
+    /// Maximum cluster-tree depth.
+    pub max_tree_depth: u64,
+    /// Realized stretch `max_tree_depth / d`.
+    pub stretch: f64,
+    /// Maximum cluster trees sharing one edge.
+    pub max_edge_tree_load: u64,
+}
+
+/// Measures sparse-cover quality (Theorems 3.10/3.11 / E8).
+pub fn e8_cover_quality(scale: Scale) -> Vec<CoverRow> {
+    let quick = [48u32];
+    let full = [64u32, 128, 256];
+    let sizes = scale.pick(&quick, &full);
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let g = generators::random_connected(n, 2 * n as u64, 5);
+        for d in [1u64, 2, 4] {
+            let cover = SparseCover::construct(&g, d);
+            let stats = cover.validate(&g).expect("constructed covers are valid");
+            rows.push(CoverRow {
+                n,
+                d,
+                clusters: stats.cluster_count as u64,
+                colors: stats.colors,
+                max_membership: stats.max_membership as u64,
+                mean_membership: stats.mean_membership,
+                max_tree_depth: stats.max_tree_depth,
+                stretch: stats.max_tree_depth as f64 / d.max(1) as f64,
+                max_edge_tree_load: stats.max_edge_tree_load as u64,
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// E9: spanning forest
+// ---------------------------------------------------------------------------
+
+/// One measurement row of the spanning-forest experiment (E9).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForestRow {
+    /// Number of nodes.
+    pub n: u32,
+    /// Number of edges.
+    pub m: u32,
+    /// Number of connected components.
+    pub components: u64,
+    /// Boruvka merge phases (`O(log n)` claimed).
+    pub phases: u64,
+    /// Rounds charged (`Õ(n)` claimed).
+    pub rounds: u64,
+    /// Maximum per-edge congestion (`poly(log n)` claimed).
+    pub max_congestion: u64,
+    /// Maximum per-node energy of the low-energy variant (Theorem 3.1).
+    pub low_energy_max: u64,
+    /// Maximum per-node energy of the always-awake variant.
+    pub always_awake_max: u64,
+}
+
+/// Measures the maximal-spanning-forest algorithm (Theorems 2.2/3.1 / E9).
+pub fn e9_spanning_forest(scale: Scale) -> Vec<ForestRow> {
+    let quick = [64u32, 128];
+    let full = [64u32, 128, 256, 512];
+    let sizes = scale.pick(&quick, &full);
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let g = generators::disjoint_copies(&generators::random_connected(n / 2, n as u64, 9), 2);
+        let (forest, metrics) = spanning_forest(&g, false);
+        let (_, low) = spanning_forest(&g, true);
+        rows.push(ForestRow {
+            n: g.node_count(),
+            m: g.edge_count(),
+            components: forest.component_count as u64,
+            phases: forest.phases,
+            rounds: metrics.rounds,
+            max_congestion: metrics.max_congestion(),
+            low_energy_max: low.max_energy(),
+            always_awake_max: metrics.max_energy(),
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// E10: recursion structure (Lemma 2.4 / Corollary 2.5)
+// ---------------------------------------------------------------------------
+
+/// One measurement row of the recursion-structure experiment (E10).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecursionRow {
+    /// Number of nodes.
+    pub n: u32,
+    /// Recursion levels (`log₂ D`).
+    pub levels: u32,
+    /// Number of subproblems in the recursion tree.
+    pub subproblems: u64,
+    /// Maximum subproblems any node participated in (`O(log D)` claimed).
+    pub max_participation: u64,
+    /// Sum of subproblem sizes (`O(n log D)` claimed).
+    pub total_subproblem_size: u64,
+    /// `total_subproblem_size / (n · levels)` — should stay `O(1)`.
+    pub normalized_total: f64,
+}
+
+/// Measures the recursion structure of the thresholded CSSP (E10).
+pub fn e10_recursion(scale: Scale) -> Vec<RecursionRow> {
+    let quick = [32u32, 64];
+    let full = [64u32, 128, 256, 512];
+    let sizes = scale.pick(&quick, &full);
+    let cfg = AlgoConfig::default();
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let g = weighted_workload(n, 13);
+        let run = cssp(&g, &[NodeId(0)], &cfg).expect("cssp");
+        rows.push(RecursionRow {
+            n,
+            levels: run.stats.levels,
+            subproblems: run.stats.subproblems,
+            max_participation: run.stats.max_participation(),
+            total_subproblem_size: run.stats.total_subproblem_size,
+            normalized_total: run.stats.total_subproblem_size as f64
+                / (n as f64 * run.stats.levels.max(1) as f64),
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adversarial_workload_has_expected_shape() {
+        let g = bellman_ford_adversarial(16);
+        assert_eq!(g.node_count(), 16);
+        assert_eq!(g.edge_count(), 15 + 14);
+        let truth = congest_graph::sequential::dijkstra(&g, &[NodeId(0)]);
+        assert_eq!(truth.distance(NodeId(10)).finite(), Some(10));
+    }
+
+    #[test]
+    fn e1_rows_cover_all_algorithms() {
+        let rows = e1_e3_sssp_comparison(Scale::Quick);
+        assert_eq!(rows.len(), 2 * 2 * 3);
+        assert!(rows.iter().any(|r| r.algorithm.contains("paper")));
+        assert!(rows.iter().all(|r| r.rounds > 0 && r.messages > 0));
+    }
+
+    #[test]
+    fn e2_congestion_growth_paper_vs_bellman_ford_on_adversarial() {
+        // On the adversarial workload Bellman–Ford's per-edge congestion is
+        // Θ(n), so it roughly doubles when n doubles; the recursion's
+        // congestion is O(log n · log D) and grows far slower. (The absolute
+        // crossover happens at larger n — see EXPERIMENTS.md E2.)
+        let rows = e1_e3_sssp_comparison(Scale::Quick);
+        let pick = |algo: &str, n: u32| {
+            rows.iter()
+                .find(|r| r.workload == "bf-adversarial" && r.algorithm.contains(algo) && r.n == n)
+                .map(|r| r.max_congestion as f64)
+                .expect("row present")
+        };
+        let paper_growth = pick("paper", 64) / pick("paper", 32);
+        let bf_growth = pick("bellman-ford", 64) / pick("bellman-ford", 32);
+        assert!(bf_growth > 1.6, "Bellman–Ford congestion tracks n (grew {bf_growth}x)");
+        assert!(
+            paper_growth < bf_growth,
+            "the recursion's congestion growth {paper_growth} must stay below Bellman–Ford's {bf_growth}"
+        );
+    }
+
+    #[test]
+    fn e4_cutter_never_drops_nodes_within_2w() {
+        for row in e4_cutter(Scale::Quick) {
+            assert_eq!(row.dropped_within_2w, 0);
+            assert!(row.max_observed_error <= row.error_bound);
+            assert!(row.max_congestion <= 2);
+        }
+    }
+
+    #[test]
+    fn e5_rows_pair_paper_with_baseline() {
+        let rows = e5_energy_bfs(Scale::Quick);
+        assert!(rows.len() >= 4);
+        assert!(rows.iter().any(|r| r.algorithm.contains("paper")));
+        assert!(rows.iter().any(|r| r.algorithm.contains("always-awake")));
+    }
+
+    #[test]
+    fn e7_concurrent_beats_sequential() {
+        for row in e7_apsp(Scale::Quick) {
+            assert!(row.speedup > 1.0, "n = {}: speedup {}", row.n, row.speedup);
+        }
+    }
+
+    #[test]
+    fn e8_cover_membership_is_bounded_by_colors() {
+        for row in e8_cover_quality(Scale::Quick) {
+            assert!(row.max_membership <= row.colors as u64);
+            assert!(row.stretch >= 1.0);
+        }
+    }
+
+    #[test]
+    fn e9_forest_phases_are_logarithmic() {
+        for row in e9_spanning_forest(Scale::Quick) {
+            assert!(row.phases <= (row.n as f64).log2().ceil() as u64 + 2);
+            assert!(row.low_energy_max <= row.always_awake_max);
+        }
+    }
+
+    #[test]
+    fn e10_participation_is_logarithmic() {
+        for row in e10_recursion(Scale::Quick) {
+            assert!(row.max_participation <= 4 * (row.levels as u64 + 2));
+        }
+    }
+}

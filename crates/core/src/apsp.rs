@@ -1,0 +1,210 @@
+//! All-Pairs Shortest Paths in `Õ(n)` rounds (Section 1.1 of the paper):
+//! run one low-congestion SSSP instance per source, then schedule all `n`
+//! instances concurrently with random start delays. Because every instance
+//! sends only `poly(log n)` messages over each edge, the random-delay
+//! schedule completes in `O(congestion + dilation · log n) = Õ(n)` rounds —
+//! as opposed to the trivial sequential composition, which costs the sum of
+//! the instances' running times (`Θ(n²)`-ish).
+//!
+//! ## Simulation methodology
+//!
+//! Each SSSP instance is executed on its own (which preserves its
+//! correctness) and produces per-edge message counts and a round count. The
+//! instances' edge usage is then spread evenly over their duration to form
+//! per-round usage traces, and the traces are superimposed by the
+//! random-delay queueing scheduler of [`congest_sim::scheduler`]. The
+//! reported makespan is the realized completion time under a per-round
+//! per-edge message budget. See DESIGN.md §6.
+
+use congest_graph::{Distance, EdgeId, Graph};
+use congest_sim::scheduler::{random_delay_schedule, ScheduleConfig, ScheduleOutcome};
+use congest_sim::EdgeUsageTrace;
+use serde::{Deserialize, Serialize};
+
+use crate::cssp::sssp;
+use crate::{AlgoConfig, AlgoError};
+
+/// The result of an APSP computation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApspRun {
+    /// `distances[s][v]` is the exact distance from source `s` to node `v`.
+    pub distances: Vec<Vec<Distance>>,
+    /// Rounds of each individual SSSP instance.
+    pub instance_rounds: Vec<u64>,
+    /// Maximum per-edge congestion of any single instance.
+    pub max_instance_congestion: u64,
+    /// The scheduling outcome when all instances run concurrently with random
+    /// delays (the paper's APSP): `schedule.makespan` is the APSP time.
+    pub schedule: ScheduleOutcome,
+    /// The cost of the trivial sequential composition (sum of instance
+    /// rounds), for comparison.
+    pub sequential_rounds: u64,
+    /// Total messages over all instances.
+    pub total_messages: u64,
+}
+
+/// Configuration of the APSP scheduling experiment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ApspConfig {
+    /// Per-round per-edge message budget of the concurrent schedule (the
+    /// `O(log n)` factor of the scheduling theorem).
+    pub edge_budget_per_round: u32,
+    /// Random start delays are drawn from `0..max_delay`; `None` uses the
+    /// scheduling-theorem default of `n` rounds.
+    pub max_delay: Option<u64>,
+    /// Seed for the random delays (the only randomness in the whole APSP
+    /// algorithm, as the paper emphasizes).
+    pub seed: u64,
+}
+
+impl Default for ApspConfig {
+    fn default() -> Self {
+        ApspConfig { edge_budget_per_round: 0, max_delay: None, seed: 0 }
+    }
+}
+
+/// Computes APSP: one SSSP per source plus random-delay scheduling.
+///
+/// With `apsp_config.edge_budget_per_round == 0` the budget defaults to
+/// `⌈log₂ n⌉ + 1`.
+///
+/// # Errors
+///
+/// Propagates any SSSP failure.
+pub fn apsp(
+    g: &Graph,
+    config: &AlgoConfig,
+    apsp_config: &ApspConfig,
+) -> Result<ApspRun, AlgoError> {
+    let n = g.node_count();
+    let mut distances = Vec::with_capacity(n as usize);
+    let mut traces = Vec::with_capacity(n as usize);
+    let mut instance_rounds = Vec::with_capacity(n as usize);
+    let mut max_instance_congestion = 0u64;
+    let mut total_messages = 0u64;
+
+    for s in g.nodes() {
+        let run = sssp(g, s, config)?;
+        instance_rounds.push(run.metrics.rounds);
+        max_instance_congestion = max_instance_congestion.max(run.metrics.max_congestion());
+        total_messages += run.metrics.messages;
+        traces.push(spread_trace(&run.metrics.edge_congestion, run.metrics.rounds));
+        distances.push(run.output.distances);
+    }
+
+    let budget = if apsp_config.edge_budget_per_round == 0 {
+        ((n.max(2) as f64).log2().ceil() as u32) + 1
+    } else {
+        apsp_config.edge_budget_per_round
+    };
+    let max_delay = apsp_config.max_delay.unwrap_or(n as u64).max(1);
+    let schedule = random_delay_schedule(
+        &traces,
+        &ScheduleConfig {
+            edge_capacity_per_round: budget,
+            max_delay,
+            seed: apsp_config.seed,
+        },
+    );
+    let sequential_rounds = instance_rounds.iter().sum();
+
+    Ok(ApspRun {
+        distances,
+        instance_rounds,
+        max_instance_congestion,
+        schedule,
+        sequential_rounds,
+        total_messages,
+    })
+}
+
+/// Spreads each edge's total message count evenly over the instance's
+/// duration, producing a per-round usage trace consistent with the measured
+/// congestion and dilation.
+fn spread_trace(edge_congestion: &[u64], rounds: u64) -> EdgeUsageTrace {
+    let rounds = rounds.max(1) as usize;
+    let mut per_round: Vec<Vec<(EdgeId, u32)>> = vec![Vec::new(); rounds];
+    for (e, &total) in edge_congestion.iter().enumerate() {
+        if total == 0 {
+            continue;
+        }
+        for k in 0..total {
+            let r = ((k as u128 * rounds as u128) / total as u128) as usize;
+            per_round[r.min(rounds - 1)].push((EdgeId(e as u32), 1));
+        }
+    }
+    // Coalesce duplicates within a round.
+    for round in &mut per_round {
+        round.sort_by_key(|&(e, _)| e);
+        let mut merged: Vec<(EdgeId, u32)> = Vec::with_capacity(round.len());
+        for &(e, c) in round.iter() {
+            if let Some(last) = merged.last_mut() {
+                if last.0 == e {
+                    last.1 += c;
+                    continue;
+                }
+            }
+            merged.push((e, c));
+        }
+        *round = merged;
+    }
+    EdgeUsageTrace { rounds: per_round }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::{generators, sequential};
+
+    #[test]
+    fn apsp_distances_match_sequential_all_pairs() {
+        let g = generators::with_random_weights(&generators::random_connected(16, 24, 2), 6, 2);
+        let run = apsp(&g, &AlgoConfig::default(), &ApspConfig::default()).unwrap();
+        let truth = sequential::all_pairs(&g);
+        for s in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(run.distances[s.index()][v.index()], truth[s.index()][v.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_schedule_beats_sequential_composition() {
+        let g = generators::random_connected(24, 60, 5);
+        let run = apsp(&g, &AlgoConfig::default(), &ApspConfig::default()).unwrap();
+        assert!(
+            run.schedule.makespan < run.sequential_rounds,
+            "concurrent makespan {} should beat sequential {}",
+            run.schedule.makespan,
+            run.sequential_rounds
+        );
+    }
+
+    #[test]
+    fn per_instance_congestion_is_small() {
+        let g = generators::random_connected(24, 48, 1);
+        let run = apsp(&g, &AlgoConfig::default(), &ApspConfig::default()).unwrap();
+        // Every instance has polylog congestion; far below n.
+        assert!(run.max_instance_congestion < g.node_count() as u64 * 4);
+        assert!(run.total_messages > 0);
+        assert_eq!(run.instance_rounds.len(), g.node_count() as usize);
+    }
+
+    #[test]
+    fn schedule_is_reproducible_for_a_seed() {
+        let g = generators::random_connected(12, 20, 9);
+        let cfg = ApspConfig { seed: 7, ..ApspConfig::default() };
+        let a = apsp(&g, &AlgoConfig::default(), &cfg).unwrap();
+        let b = apsp(&g, &AlgoConfig::default(), &cfg).unwrap();
+        assert_eq!(a.schedule.makespan, b.schedule.makespan);
+        assert_eq!(a.schedule.delays, b.schedule.delays);
+    }
+
+    #[test]
+    fn spread_trace_preserves_totals() {
+        let trace = spread_trace(&[3, 0, 7], 5);
+        assert_eq!(trace.len(), 5);
+        assert_eq!(trace.total_messages(), 10);
+        assert_eq!(trace.max_edge_total(), 7);
+    }
+}

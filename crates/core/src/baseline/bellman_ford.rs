@@ -1,0 +1,160 @@
+//! The distributed Bellman–Ford baseline (Section 1.1 of the paper): per
+//! round every node relaxes its incident edges, so after `n − 1` rounds every
+//! estimate is exact — at the cost of `Θ(mn)` messages in the worst case and
+//! up to `Θ(n)` messages over a single edge.
+
+use congest_graph::{Distance, Graph, NodeId};
+use congest_sim::{Engine, Message, NodeCtx, Protocol};
+
+use crate::result::{AlgoRun, DistanceOutput};
+use crate::{AlgoConfig, AlgoError};
+
+/// Per-node state of the Bellman–Ford protocol.
+#[derive(Debug, Clone)]
+pub struct BellmanFordNode {
+    /// The current (eventually exact) distance estimate.
+    pub dist: Distance,
+    is_source: bool,
+    rounds_total: u64,
+}
+
+impl Protocol for BellmanFordNode {
+    fn init(&mut self, ctx: &mut NodeCtx<'_>) {
+        if self.is_source {
+            self.dist = Distance::ZERO;
+            ctx.broadcast(&[0]);
+        }
+    }
+
+    fn on_round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[Message]) {
+        let mut improved = false;
+        for msg in inbox {
+            // The candidate is the sender's estimate plus the weight of the
+            // edge the message arrived on.
+            let w = ctx
+                .neighbors()
+                .iter()
+                .find(|a| a.edge == msg.edge)
+                .map(|a| a.weight)
+                .expect("messages arrive on incident edges");
+            let cand = Distance::Finite(msg.word(0) + w);
+            if cand < self.dist {
+                self.dist = cand;
+                improved = true;
+            }
+        }
+        if improved {
+            if let Some(d) = self.dist.finite() {
+                ctx.broadcast(&[d]);
+            }
+        }
+        // Estimates are exact after n - 1 relaxation rounds; everyone stops
+        // at the globally known round n + 1.
+        if ctx.round() > self.rounds_total {
+            ctx.halt();
+        }
+    }
+}
+
+/// Runs the distributed Bellman–Ford baseline from `sources` and returns
+/// exact distances together with its (deliberately large) complexity metrics.
+///
+/// # Errors
+///
+/// Returns an error if the source set is empty, a source is out of range, or
+/// the simulation exceeds its round limit.
+pub fn distributed_bellman_ford(
+    g: &Graph,
+    sources: &[NodeId],
+    config: &AlgoConfig,
+) -> Result<AlgoRun, AlgoError> {
+    if sources.is_empty() {
+        return Err(AlgoError::EmptySourceSet);
+    }
+    for &s in sources {
+        if !g.contains_node(s) {
+            return Err(AlgoError::SourceOutOfRange { node: s });
+        }
+    }
+    let is_source: Vec<bool> = {
+        let mut v = vec![false; g.node_count() as usize];
+        for &s in sources {
+            v[s.index()] = true;
+        }
+        v
+    };
+    let rounds_total = g.node_count() as u64 + 1;
+    let mut sim = config.sim.clone();
+    sim.max_rounds = sim.max_rounds.max(rounds_total + 10);
+    let run = Engine::new(g, sim).run(|id: NodeId| BellmanFordNode {
+        dist: Distance::Infinite,
+        is_source: is_source[id.index()],
+        rounds_total,
+    })?;
+    let distances = run.states.iter().map(|s| s.dist).collect();
+    Ok(AlgoRun { output: DistanceOutput { distances }, metrics: run.metrics, trace: run.trace })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::{generators, sequential};
+
+    #[test]
+    fn bellman_ford_matches_dijkstra() {
+        let cfg = AlgoConfig::default();
+        for seed in 0..3 {
+            let g = generators::with_random_weights(&generators::random_connected(30, 60, seed), 9, seed);
+            let run = distributed_bellman_ford(&g, &[NodeId(0)], &cfg).unwrap();
+            let truth = sequential::dijkstra(&g, &[NodeId(0)]);
+            for v in g.nodes() {
+                assert_eq!(run.distance(v), truth.distance(v));
+            }
+        }
+    }
+
+    #[test]
+    fn time_and_energy_are_linear_in_n() {
+        let n = 64u32;
+        let g = generators::path(n, 1);
+        let cfg = AlgoConfig::default();
+        let run = distributed_bellman_ford(&g, &[NodeId(0)], &cfg).unwrap();
+        // Time is Θ(n) regardless of the diameter being n - 1.
+        assert!(run.metrics.rounds >= n as u64);
+        // Every node is awake the whole time: energy Θ(n).
+        assert!(run.metrics.max_energy() >= n as u64);
+    }
+
+    #[test]
+    fn message_complexity_is_large_on_dense_graphs() {
+        let cfg = AlgoConfig::default();
+        let g = generators::with_random_weights(&generators::complete(24, 1), 50, 3);
+        let run = distributed_bellman_ford(&g, &[NodeId(0)], &cfg).unwrap();
+        // Many improvement waves per node: messages well above m.
+        assert!(run.metrics.messages > g.edge_count() as u64);
+    }
+
+    #[test]
+    fn multi_source_bellman_ford() {
+        let cfg = AlgoConfig::default();
+        let g = generators::with_random_weights(&generators::grid(5, 5, 1), 4, 2);
+        let sources = [NodeId(0), NodeId(24)];
+        let run = distributed_bellman_ford(&g, &sources, &cfg).unwrap();
+        let truth = sequential::dijkstra(&g, &sources);
+        assert_eq!(run.output.distances, truth.distances);
+    }
+
+    #[test]
+    fn rejects_bad_sources() {
+        let cfg = AlgoConfig::default();
+        let g = generators::path(3, 1);
+        assert!(matches!(
+            distributed_bellman_ford(&g, &[], &cfg),
+            Err(AlgoError::EmptySourceSet)
+        ));
+        assert!(matches!(
+            distributed_bellman_ford(&g, &[NodeId(5)], &cfg),
+            Err(AlgoError::SourceOutOfRange { .. })
+        ));
+    }
+}

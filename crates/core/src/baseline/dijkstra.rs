@@ -1,0 +1,156 @@
+//! The direct distributed Dijkstra baseline the paper's introduction rules
+//! out: repeatedly find the minimum-estimate unvisited node *in the whole
+//! network* (a global convergecast over a BFS tree of depth `D`), visit it,
+//! and relax its edges. This costs `O(n · D)` rounds and `O(n² + m)` messages
+//! — far from the paper's bounds — and is implemented here as the comparison
+//! point for experiments E1–E3.
+//!
+//! The iteration structure (which node is visited when, which edges are
+//! relaxed) is exactly what a distributed execution would compute; the
+//! per-iteration coordination costs are charged following the textbook
+//! accounting (one convergecast + one broadcast over the BFS tree per
+//! iteration, plus one message per edge of the visited node).
+
+use congest_graph::{Distance, Graph, NodeId};
+use congest_sim::Metrics;
+
+use crate::result::{AlgoRun, DistanceOutput};
+use crate::{AlgoConfig, AlgoError};
+
+/// Runs the distributed-Dijkstra baseline from `sources`.
+///
+/// # Errors
+///
+/// Returns an error if the source set is empty or a source is out of range.
+pub fn distributed_dijkstra(
+    g: &Graph,
+    sources: &[NodeId],
+    _config: &AlgoConfig,
+) -> Result<AlgoRun, AlgoError> {
+    if sources.is_empty() {
+        return Err(AlgoError::EmptySourceSet);
+    }
+    for &s in sources {
+        if !g.contains_node(s) {
+            return Err(AlgoError::SourceOutOfRange { node: s });
+        }
+    }
+    let n = g.node_count() as usize;
+    let m = g.edge_count() as usize;
+    let mut metrics = Metrics::zero(n, m);
+
+    // Coordination tree: a BFS forest from the sources (what the "find the
+    // global minimum" convergecast runs over). Its construction costs one BFS.
+    let bfs = congest_graph::sequential::bfs(g, sources);
+    let forest = congest_graph::sequential::spanning_forest(g);
+    let tree_depth = bfs
+        .distances
+        .iter()
+        .filter_map(|d| d.finite())
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    metrics.rounds += tree_depth + 1;
+    for e in 0..m {
+        metrics.edge_congestion[e] += 1;
+        metrics.messages += 1;
+    }
+    for v in 0..n {
+        metrics.node_energy[v] += tree_depth + 1;
+    }
+
+    // Dijkstra iterations.
+    let mut dist = vec![Distance::Infinite; n];
+    let mut visited = vec![false; n];
+    for &s in sources {
+        dist[s.index()] = Distance::ZERO;
+    }
+    loop {
+        // Global minimum search: one convergecast + one broadcast over the
+        // coordination tree (2 * depth rounds, 2 messages per tree edge, every
+        // node awake for the duration).
+        let next = (0..n)
+            .filter(|&v| !visited[v] && dist[v].is_finite())
+            .min_by_key(|&v| (dist[v], v));
+        let Some(v) = next else { break };
+        let coordination_rounds = 2 * tree_depth + 2;
+        metrics.rounds += coordination_rounds;
+        for e in &forest.edges {
+            metrics.edge_congestion[e.index()] += 2;
+            metrics.messages += 2;
+        }
+        for u in 0..n {
+            metrics.node_energy[u] += coordination_rounds;
+        }
+        // Visit v and relax its incident edges (one round, one message per
+        // incident edge).
+        visited[v] = true;
+        metrics.rounds += 1;
+        let dv = dist[v];
+        for adj in g.neighbors(NodeId(v as u32)) {
+            metrics.edge_congestion[adj.edge.index()] += 1;
+            metrics.messages += 1;
+            let cand = dv.saturating_add(adj.weight);
+            if cand < dist[adj.neighbor.index()] {
+                dist[adj.neighbor.index()] = cand;
+            }
+        }
+    }
+
+    Ok(AlgoRun { output: DistanceOutput { distances: dist }, metrics, trace: None })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::{generators, sequential};
+
+    #[test]
+    fn distances_match_sequential_dijkstra() {
+        let cfg = AlgoConfig::default();
+        for seed in 0..3 {
+            let g = generators::with_random_weights(&generators::random_connected(40, 70, seed), 11, seed);
+            let run = distributed_dijkstra(&g, &[NodeId(0)], &cfg).unwrap();
+            let truth = sequential::dijkstra(&g, &[NodeId(0)]);
+            assert_eq!(run.output.distances, truth.distances, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn time_scales_with_n_times_diameter() {
+        let cfg = AlgoConfig::default();
+        let g = generators::path(50, 2);
+        let run = distributed_dijkstra(&g, &[NodeId(0)], &cfg).unwrap();
+        // 50 iterations, each costing ~2 * 49 rounds of coordination.
+        assert!(run.metrics.rounds >= 50 * 49);
+    }
+
+    #[test]
+    fn message_complexity_includes_n_squared_term() {
+        let cfg = AlgoConfig::default();
+        let g = generators::random_connected(60, 60, 2);
+        let run = distributed_dijkstra(&g, &[NodeId(0)], &cfg).unwrap();
+        // n iterations × Θ(n) tree messages dominates m.
+        assert!(run.metrics.messages as usize > 10 * g.edge_count() as usize);
+    }
+
+    #[test]
+    fn multi_source_works() {
+        let cfg = AlgoConfig::default();
+        let g = generators::with_random_weights(&generators::grid(5, 5, 1), 6, 1);
+        let sources = [NodeId(0), NodeId(24)];
+        let run = distributed_dijkstra(&g, &sources, &cfg).unwrap();
+        assert_eq!(run.output.distances, sequential::dijkstra(&g, &sources).distances);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let cfg = AlgoConfig::default();
+        let g = generators::path(3, 1);
+        assert!(matches!(distributed_dijkstra(&g, &[], &cfg), Err(AlgoError::EmptySourceSet)));
+        assert!(matches!(
+            distributed_dijkstra(&g, &[NodeId(7)], &cfg),
+            Err(AlgoError::SourceOutOfRange { .. })
+        ));
+    }
+}

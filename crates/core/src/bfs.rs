@@ -1,0 +1,196 @@
+//! Distributed multi-source (thresholded) BFS as a CONGEST protocol.
+//!
+//! This is the always-awake building block used by the Section-2 algorithms
+//! and as the "naive" energy baseline: every node stays awake until the depth
+//! limit has certainly been reached, so the energy per node equals the time.
+//! Each node broadcasts its distance exactly once, so the congestion is at
+//! most one message per edge per direction.
+
+use congest_graph::{Distance, Graph, NodeId};
+use congest_sim::{Engine, Message, NodeCtx, Protocol};
+
+use crate::result::{AlgoRun, DistanceOutput};
+use crate::{AlgoConfig, AlgoError};
+
+/// Per-node state of the BFS protocol.
+#[derive(Debug, Clone)]
+pub struct BfsNode {
+    /// The hop distance from the nearest source (what the node outputs).
+    pub dist: Distance,
+    is_source: bool,
+    announced: bool,
+    limit: u64,
+}
+
+impl Protocol for BfsNode {
+    fn init(&mut self, ctx: &mut NodeCtx<'_>) {
+        if self.is_source {
+            self.dist = Distance::ZERO;
+            self.announced = true;
+            if self.limit > 0 {
+                ctx.broadcast(&[0]);
+            }
+        }
+    }
+
+    fn on_round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[Message]) {
+        for msg in inbox {
+            let cand = Distance::Finite(msg.word(0) + 1);
+            if cand < self.dist {
+                self.dist = cand;
+            }
+        }
+        if !self.announced {
+            if let Some(d) = self.dist.finite() {
+                // In synchronous BFS a node first hears of the wavefront in
+                // exactly the round equal to its hop distance.
+                debug_assert_eq!(d, ctx.round());
+                self.announced = true;
+                if d < self.limit {
+                    ctx.broadcast(&[d]);
+                }
+            }
+        }
+        // The wavefront cannot travel further than one hop per round, so by
+        // round `limit + 1` everything within the threshold has been reached.
+        if ctx.round() > self.limit {
+            ctx.halt();
+        }
+    }
+}
+
+/// Runs multi-source BFS from `sources` up to hop distance `limit`
+/// (a *`limit`-thresholded BFS* in the paper's terminology): nodes at hop
+/// distance greater than `limit` output [`Distance::Infinite`].
+///
+/// # Errors
+///
+/// Returns an error if the source list is empty, a source id is out of range,
+/// or the simulation exceeds its round limit.
+pub fn thresholded_bfs(
+    g: &Graph,
+    sources: &[NodeId],
+    limit: u64,
+    config: &AlgoConfig,
+) -> Result<AlgoRun, AlgoError> {
+    if sources.is_empty() {
+        return Err(AlgoError::EmptySourceSet);
+    }
+    for &s in sources {
+        if !g.contains_node(s) {
+            return Err(AlgoError::SourceOutOfRange { node: s });
+        }
+    }
+    let is_source: Vec<bool> = {
+        let mut v = vec![false; g.node_count() as usize];
+        for &s in sources {
+            v[s.index()] = true;
+        }
+        v
+    };
+    let mut sim = config.sim.clone();
+    sim.max_rounds = sim.max_rounds.max(limit + 10);
+    let run = Engine::new(g, sim).run(|id| BfsNode {
+        dist: Distance::Infinite,
+        is_source: is_source[id.index()],
+        announced: false,
+        limit,
+    })?;
+    let distances = run.states.iter().map(|s| s.dist).collect();
+    Ok(AlgoRun { output: DistanceOutput { distances }, metrics: run.metrics, trace: run.trace })
+}
+
+/// Runs multi-source BFS with no threshold (limit `n`, which always suffices).
+///
+/// # Errors
+///
+/// Same conditions as [`thresholded_bfs`].
+pub fn bfs(g: &Graph, sources: &[NodeId], config: &AlgoConfig) -> Result<AlgoRun, AlgoError> {
+    thresholded_bfs(g, sources, g.node_count() as u64, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::{generators, sequential};
+
+    #[test]
+    fn bfs_matches_sequential_on_random_graphs() {
+        let cfg = AlgoConfig::default();
+        for seed in 0..4 {
+            let g = generators::random_connected(40, 60, seed);
+            let run = bfs(&g, &[NodeId(0)], &cfg).unwrap();
+            let expected = sequential::bfs(&g, &[NodeId(0)]);
+            for v in g.nodes() {
+                assert_eq!(run.distance(v), expected.distance(v), "seed {seed} node {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_source_bfs_matches_sequential() {
+        let cfg = AlgoConfig::default();
+        let g = generators::grid(6, 7, 1);
+        let sources = [NodeId(0), NodeId(41), NodeId(20)];
+        let run = bfs(&g, &sources, &cfg).unwrap();
+        let expected = sequential::bfs(&g, &sources);
+        assert_eq!(
+            run.output.distances,
+            expected.distances
+        );
+    }
+
+    #[test]
+    fn thresholded_bfs_cuts_at_the_limit() {
+        let cfg = AlgoConfig::default();
+        let g = generators::path(20, 1);
+        let run = thresholded_bfs(&g, &[NodeId(0)], 5, &cfg).unwrap();
+        for v in g.nodes() {
+            if v.0 <= 5 {
+                assert_eq!(run.distance(v).finite(), Some(v.0 as u64));
+            } else {
+                assert!(run.distance(v).is_infinite(), "node {v} is beyond the threshold");
+            }
+        }
+        // Time is proportional to the threshold, not the diameter.
+        assert!(run.metrics.rounds <= 5 + 3);
+    }
+
+    #[test]
+    fn congestion_is_at_most_two_per_edge() {
+        let cfg = AlgoConfig::default();
+        let g = generators::random_connected(50, 120, 3);
+        let run = bfs(&g, &[NodeId(0)], &cfg).unwrap();
+        // One announcement per endpoint per edge.
+        assert!(run.metrics.max_congestion() <= 2);
+        assert!(run.metrics.messages <= 2 * g.edge_count() as u64);
+    }
+
+    #[test]
+    fn unreachable_nodes_stay_infinite() {
+        let cfg = AlgoConfig::default();
+        let g = generators::disjoint_copies(&generators::path(5, 1), 2);
+        let run = bfs(&g, &[NodeId(0)], &cfg).unwrap();
+        assert!(run.distance(NodeId(7)).is_infinite());
+        assert_eq!(run.output.reached_count(), 5);
+    }
+
+    #[test]
+    fn empty_sources_are_rejected() {
+        let cfg = AlgoConfig::default();
+        let g = generators::path(4, 1);
+        assert!(matches!(bfs(&g, &[], &cfg), Err(AlgoError::EmptySourceSet)));
+        assert!(matches!(
+            bfs(&g, &[NodeId(9)], &cfg),
+            Err(AlgoError::SourceOutOfRange { node: NodeId(9) })
+        ));
+    }
+
+    #[test]
+    fn zero_limit_reaches_only_sources() {
+        let cfg = AlgoConfig::default();
+        let g = generators::star(6, 1);
+        let run = thresholded_bfs(&g, &[NodeId(0)], 0, &cfg).unwrap();
+        assert_eq!(run.output.reached_count(), 1);
+    }
+}

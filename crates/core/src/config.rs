@@ -1,0 +1,115 @@
+//! Tunable constants of the algorithms.
+//!
+//! Every polylogarithmic constant the paper leaves implicit is an explicit
+//! field here so that experiments can report exactly which constants were
+//! used (see `EXPERIMENTS.md`).
+
+use serde::{Deserialize, Serialize};
+
+use congest_sim::SimConfig;
+
+/// Configuration for the low-congestion CSSP/SSSP/APSP algorithms of
+/// Section 2 of the paper and for the low-energy algorithms of Section 3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlgoConfig {
+    /// The approximation parameter `ε ∈ (0, 1)` of the cutter (Lemma 2.1).
+    /// The paper fixes `ε = 0.5` in the recursion (Section 2.3, step 3).
+    pub epsilon_inverse: u64,
+    /// Threshold below which the recursion switches to the one-round base
+    /// case (the paper uses `D = 1`).
+    pub base_case_threshold: u64,
+    /// Simulator model configuration used for the protocol phases.
+    pub sim: SimConfig,
+    /// Record per-round edge-usage traces of protocol phases (needed when the
+    /// run will be fed to the APSP random-delay scheduler).
+    pub record_traces: bool,
+
+    // --- Sleeping-model (Section 3) constants -------------------------------
+    /// The BFS wavefront in the low-energy BFS advances one hop every
+    /// `bfs_slowdown` rounds, so that cluster activation (which travels
+    /// through cluster trees) stays ahead of it (Lemma 3.7). The paper uses
+    /// `Θ(log³ n)`; the default here is the measured cover stretch plus a
+    /// safety factor, applied per instance by the algorithm.
+    pub min_bfs_slowdown: u64,
+    /// Extra multiplicative safety factor on the slowdown.
+    pub slowdown_safety_factor: u64,
+    /// Rounds charged per level of layered-cover construction, as a multiple
+    /// of `B^j · log² n` (Theorem 3.12 charges `O(B^j log^15 n)`; we charge
+    /// the measured BFS work times this factor — see DESIGN.md §6).
+    pub cover_build_round_factor: u64,
+    /// Awake rounds charged to every node per level of layered-cover
+    /// construction, as a multiple of `log² n` (Theorem 3.12 charges
+    /// `O(log^25 n)`; see DESIGN.md §6).
+    pub cover_build_energy_factor: u64,
+}
+
+impl Default for AlgoConfig {
+    fn default() -> Self {
+        AlgoConfig {
+            epsilon_inverse: 2,
+            base_case_threshold: 1,
+            sim: SimConfig::default(),
+            record_traces: false,
+            min_bfs_slowdown: 2,
+            slowdown_safety_factor: 2,
+            cover_build_round_factor: 4,
+            cover_build_energy_factor: 4,
+        }
+    }
+}
+
+impl AlgoConfig {
+    /// The approximation parameter as a float (`1 / epsilon_inverse`).
+    pub fn epsilon(&self) -> f64 {
+        1.0 / self.epsilon_inverse as f64
+    }
+
+    /// Enables trace recording (for APSP scheduling experiments).
+    pub fn with_traces(mut self) -> Self {
+        self.record_traces = true;
+        self.sim.record_edge_trace = true;
+        self
+    }
+
+    /// Sets the cutter approximation parameter to `1 / inverse`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inverse == 0`.
+    pub fn with_epsilon_inverse(mut self, inverse: u64) -> Self {
+        assert!(inverse > 0, "epsilon_inverse must be positive");
+        self.epsilon_inverse = inverse;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_epsilon_is_half() {
+        let c = AlgoConfig::default();
+        assert_eq!(c.epsilon(), 0.5);
+        assert_eq!(c.base_case_threshold, 1);
+    }
+
+    #[test]
+    fn with_traces_enables_sim_traces_too() {
+        let c = AlgoConfig::default().with_traces();
+        assert!(c.record_traces);
+        assert!(c.sim.record_edge_trace);
+    }
+
+    #[test]
+    fn epsilon_inverse_builder() {
+        let c = AlgoConfig::default().with_epsilon_inverse(4);
+        assert_eq!(c.epsilon(), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_epsilon_inverse_rejected() {
+        let _ = AlgoConfig::default().with_epsilon_inverse(0);
+    }
+}

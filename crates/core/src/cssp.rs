@@ -1,0 +1,295 @@
+//! The public entry points for low-congestion exact CSSP and SSSP
+//! (Theorems 2.6 and 2.7 of the paper).
+//!
+//! [`cssp`] computes `dist(S, v)` for every node `v` in `Õ(n)` rounds with
+//! `poly(log n)` congestion per edge; [`sssp`] is the single-source special
+//! case. Zero-weight edges are handled by contracting their connected
+//! components before running the recursion (the standard device behind
+//! Theorem 2.7).
+
+use std::collections::BTreeMap;
+
+use congest_graph::{Distance, EdgeId, Graph, NodeId};
+use congest_sim::Metrics;
+
+use crate::result::{AlgoRun, DistanceOutput, SourceOffset};
+use crate::thresholded::{thresholded_cssp, RecursionStats, ThresholdedRun};
+use crate::{AlgoConfig, AlgoError};
+
+/// The result of a full CSSP/SSSP run: distances, metrics, and the recursion
+/// instrumentation of the underlying thresholded computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsspRun {
+    /// Exact distances from the source set (infinite for unreachable nodes).
+    pub output: DistanceOutput,
+    /// Complexity measurements.
+    pub metrics: Metrics,
+    /// Recursion-tree instrumentation (Lemma 2.4 / Corollary 2.5).
+    pub stats: RecursionStats,
+}
+
+impl CsspRun {
+    /// The distance of node `v`.
+    pub fn distance(&self, v: NodeId) -> Distance {
+        self.output.distance(v)
+    }
+
+    /// Converts into the generic [`AlgoRun`].
+    pub fn into_algo_run(self) -> AlgoRun {
+        AlgoRun { output: self.output, metrics: self.metrics, trace: None }
+    }
+}
+
+/// Computes exact closest-source shortest paths `dist(S, v)` for every node
+/// (Theorem 2.6; with zero weights allowed, Theorem 2.7).
+///
+/// # Errors
+///
+/// Returns an error if `sources` is empty, a source is out of range, or the
+/// underlying simulation fails.
+pub fn cssp(g: &Graph, sources: &[NodeId], config: &AlgoConfig) -> Result<CsspRun, AlgoError> {
+    if sources.is_empty() {
+        return Err(AlgoError::EmptySourceSet);
+    }
+    for &s in sources {
+        if !g.contains_node(s) {
+            return Err(AlgoError::SourceOutOfRange { node: s });
+        }
+    }
+    let offsets: Vec<SourceOffset> = sources.iter().map(|&s| SourceOffset::plain(s)).collect();
+
+    if g.edges().iter().all(|e| e.w > 0) {
+        let threshold = g.distance_upper_bound().max(1);
+        let run = thresholded_cssp(g, &offsets, threshold, config)?;
+        return Ok(finish(run));
+    }
+
+    // Zero-weight edges: contract each connected component of the zero-weight
+    // subgraph into a supernode, solve on the contracted graph, and read the
+    // supernode's distance back for every original node (Theorem 2.7).
+    let contraction = contract_zero_weight(g);
+    let super_sources: Vec<SourceOffset> = {
+        let mut seen = std::collections::BTreeSet::new();
+        sources
+            .iter()
+            .filter_map(|&s| {
+                let sup = contraction.super_of[s.index()];
+                seen.insert(sup).then(|| SourceOffset::plain(sup))
+            })
+            .collect()
+    };
+    let threshold = contraction.graph.distance_upper_bound().max(1);
+    let run = thresholded_cssp(&contraction.graph, &super_sources, threshold, config)?;
+
+    // Distances: every original node inherits its supernode's distance.
+    let distances: Vec<Distance> = g
+        .nodes()
+        .map(|v| run.output.distance(contraction.super_of[v.index()]))
+        .collect();
+    // Metrics: attribute supernode costs to representative original nodes and
+    // contracted-edge costs to the original edge they came from.
+    let metrics = run.metrics.remap(
+        &contraction.representative,
+        &contraction.edge_origin,
+        g.node_count() as usize,
+        g.edge_count() as usize,
+    );
+    let stats = RecursionStats {
+        subproblems: run.stats.subproblems,
+        participation: {
+            let mut p = vec![0; g.node_count() as usize];
+            for v in g.nodes() {
+                p[v.index()] = run.stats.participation[contraction.super_of[v.index()].index()];
+            }
+            p
+        },
+        total_subproblem_size: run.stats.total_subproblem_size,
+        levels: run.stats.levels,
+    };
+    Ok(CsspRun { output: DistanceOutput { distances }, metrics, stats })
+}
+
+/// Computes exact single-source shortest paths from `source` (the SSSP of
+/// Theorem 1.1's congestion part).
+///
+/// # Errors
+///
+/// Same conditions as [`cssp`].
+pub fn sssp(g: &Graph, source: NodeId, config: &AlgoConfig) -> Result<CsspRun, AlgoError> {
+    cssp(g, &[source], config)
+}
+
+fn finish(run: ThresholdedRun) -> CsspRun {
+    CsspRun { output: run.output, metrics: run.metrics, stats: run.stats }
+}
+
+/// The result of contracting zero-weight components.
+struct Contraction {
+    /// The contracted graph (all weights positive).
+    graph: Graph,
+    /// `super_of[v]` is the supernode of original node `v`.
+    super_of: Vec<NodeId>,
+    /// `representative[s]` is an original node represented by supernode `s`.
+    representative: Vec<NodeId>,
+    /// `edge_origin[e]` is the original edge that produced contracted edge `e`.
+    edge_origin: Vec<EdgeId>,
+}
+
+/// Contracts the connected components of the zero-weight subgraph.
+fn contract_zero_weight(g: &Graph) -> Contraction {
+    let n = g.node_count() as usize;
+    // Union-find over zero-weight edges.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let root = find(parent, parent[x]);
+            parent[x] = root;
+        }
+        parent[x]
+    }
+    for e in g.edges() {
+        if e.w == 0 {
+            let (a, b) = (find(&mut parent, e.u.index()), find(&mut parent, e.v.index()));
+            if a != b {
+                parent[a] = b;
+            }
+        }
+    }
+    // Dense supernode ids.
+    let mut super_index: BTreeMap<usize, u32> = BTreeMap::new();
+    let mut representative: Vec<NodeId> = Vec::new();
+    let mut super_of = vec![NodeId(0); n];
+    for v in 0..n {
+        let root = find(&mut parent, v);
+        let next_id = super_index.len() as u32;
+        let id = *super_index.entry(root).or_insert_with(|| {
+            representative.push(NodeId(root as u32));
+            next_id
+        });
+        super_of[v] = NodeId(id);
+    }
+    let mut builder = Graph::builder(super_index.len() as u32);
+    let mut edge_origin = Vec::new();
+    for e in g.edge_ids() {
+        let edge = g.edge(e);
+        if edge.w == 0 {
+            continue;
+        }
+        let (su, sv) = (super_of[edge.u.index()], super_of[edge.v.index()]);
+        if su != sv {
+            builder.add_edge(su.0, sv.0, edge.w).expect("contracted edges are valid");
+            edge_origin.push(e);
+        }
+    }
+    Contraction { graph: builder.build(), super_of, representative, edge_origin }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::{generators, sequential};
+
+    fn check_cssp(g: &Graph, sources: &[NodeId]) -> CsspRun {
+        let run = cssp(g, sources, &AlgoConfig::default()).unwrap();
+        let truth = sequential::dijkstra(g, sources);
+        for v in g.nodes() {
+            assert_eq!(run.distance(v), truth.distance(v), "node {v}");
+        }
+        run
+    }
+
+    #[test]
+    fn sssp_matches_dijkstra_on_weighted_random_graphs() {
+        for seed in 0..5 {
+            let g = generators::with_random_weights(&generators::random_connected(35, 60, seed), 12, seed);
+            check_cssp(&g, &[NodeId(0)]);
+        }
+    }
+
+    #[test]
+    fn cssp_with_many_sources() {
+        let g = generators::with_random_weights(&generators::grid(6, 6, 1), 7, 4);
+        check_cssp(&g, &[NodeId(0), NodeId(35), NodeId(17), NodeId(5)]);
+    }
+
+    #[test]
+    fn sssp_on_unit_weights() {
+        let g = generators::random_connected(50, 100, 8);
+        check_cssp(&g, &[NodeId(3)]);
+    }
+
+    #[test]
+    fn sssp_on_paths_and_cycles() {
+        check_cssp(&generators::path(40, 5), &[NodeId(0)]);
+        check_cssp(&generators::cycle(30, 3), &[NodeId(7)]);
+        check_cssp(&generators::star(25, 9), &[NodeId(12)]);
+    }
+
+    #[test]
+    fn disconnected_graphs_yield_infinite_distances() {
+        let g = generators::disjoint_copies(&generators::path(6, 2), 3);
+        let run = check_cssp(&g, &[NodeId(0)]);
+        assert_eq!(run.output.reached_count(), 6);
+    }
+
+    #[test]
+    fn zero_weight_edges_are_contracted_correctly() {
+        // 0 -0- 1 -5- 2 -0- 3 -2- 4: dist(0, .) = [0, 0, 5, 5, 7].
+        let g = Graph::from_edges(5, [(0, 1, 0), (1, 2, 5), (2, 3, 0), (3, 4, 2)]).unwrap();
+        let run = check_cssp(&g, &[NodeId(0)]);
+        assert_eq!(run.distance(NodeId(1)), Distance::ZERO);
+        assert_eq!(run.distance(NodeId(4)).finite(), Some(7));
+    }
+
+    #[test]
+    fn zero_weight_random_graphs_match_dijkstra() {
+        for seed in 0..3 {
+            let g = generators::with_random_weights_zero(&generators::random_connected(30, 50, seed), 6, seed);
+            check_cssp(&g, &[NodeId(0), NodeId(10)]);
+        }
+    }
+
+    #[test]
+    fn all_zero_graph() {
+        let g = generators::with_random_weights_zero(&generators::path(6, 1), 0, 1);
+        let run = check_cssp(&g, &[NodeId(2)]);
+        assert_eq!(run.output.reached_count(), 6);
+        assert!(run.output.distances.iter().all(|&d| d == Distance::ZERO));
+    }
+
+    #[test]
+    fn metrics_have_original_graph_dimensions() {
+        let g = Graph::from_edges(4, [(0, 1, 0), (1, 2, 3), (2, 3, 1)]).unwrap();
+        let run = check_cssp(&g, &[NodeId(0)]);
+        assert_eq!(run.metrics.node_energy.len(), 4);
+        assert_eq!(run.metrics.edge_congestion.len(), 3);
+    }
+
+    #[test]
+    fn congestion_is_polylogarithmic_on_long_paths() {
+        // Per recursion level an edge carries O(log n) forest messages plus
+        // O(1) cutter messages, and there are O(log D) levels, so the per-edge
+        // congestion is O(log n · log D) — it must grow far slower than n.
+        let g = generators::path(128, 2);
+        let run = check_cssp(&g, &[NodeId(0)]);
+        let levels = (64 - g.distance_upper_bound().next_power_of_two().leading_zeros()) as u64;
+        let log_n = (g.node_count() as f64).log2().ceil() as u64;
+        let bound = levels * (5 * log_n + 10);
+        assert!(
+            run.metrics.max_congestion() <= bound,
+            "congestion {} exceeds the O(log n · log D) bound {}",
+            run.metrics.max_congestion(),
+            bound
+        );
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let g = generators::path(4, 1);
+        assert!(matches!(cssp(&g, &[], &AlgoConfig::default()), Err(AlgoError::EmptySourceSet)));
+        assert!(matches!(
+            sssp(&g, NodeId(9), &AlgoConfig::default()),
+            Err(AlgoError::SourceOutOfRange { .. })
+        ));
+    }
+}

@@ -1,0 +1,228 @@
+//! Low-energy weighted closest-source shortest paths (Theorem 3.15):
+//! `Õ(n)` time and `poly(log n)` energy per node.
+//!
+//! The algorithm is the Section-2 recursion with its two energy-consuming
+//! components swapped out (exactly as the paper describes):
+//!
+//! * the approximate-cutter BFSs become low-energy thresholded BFSs
+//!   (Theorem 3.14),
+//! * the spanning-forest computation becomes the low-energy Boruvka variant
+//!   (Theorem 3.1).
+//!
+//! ## Simulation methodology
+//!
+//! The recursion structure (which node participates in which subproblem, and
+//! each subproblem's size) is taken from the measured run of
+//! [`crate::thresholded::thresholded_cssp`]; the sleeping-model cost of each
+//! subproblem is then charged from the measured parameters of a layered
+//! sparse cover of the graph (levels, periods, tree depths, megaround width),
+//! using the same accounting as [`crate::energy::bfs`]. This keeps the
+//! per-node energy tied to the actually-constructed covers and the actually
+//! executed recursion rather than to a closed-form formula in `n`.
+//! See DESIGN.md §6.
+
+use congest_cover::{ClusterSchedule, LayeredCover};
+use congest_graph::{Distance, Graph, NodeId};
+use congest_sim::Metrics;
+use serde::{Deserialize, Serialize};
+
+use crate::result::{DistanceOutput, SourceOffset};
+use crate::spanning_forest::spanning_forest;
+use crate::thresholded::{thresholded_cssp, RecursionStats};
+use crate::{AlgoConfig, AlgoError};
+
+/// The outcome of a low-energy CSSP run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyCsspRun {
+    /// Exact distances from the source set.
+    pub output: DistanceOutput,
+    /// Sleeping-model complexity measurements.
+    pub metrics: Metrics,
+    /// Recursion instrumentation inherited from the underlying recursion.
+    pub stats: RecursionStats,
+    /// The per-subproblem awake-round charge applied to each participating
+    /// node (derived from the measured cover).
+    pub per_subproblem_energy: u64,
+    /// The megaround width used.
+    pub megaround: u64,
+    /// Number of levels of the layered cover.
+    pub cover_levels: usize,
+}
+
+impl EnergyCsspRun {
+    /// The distance of node `v`.
+    pub fn distance(&self, v: NodeId) -> Distance {
+        self.output.distance(v)
+    }
+}
+
+/// Runs low-energy exact CSSP from `sources` (Theorem 3.15). Edge weights
+/// must be positive.
+///
+/// # Errors
+///
+/// Returns an error for an empty/out-of-range source set, zero edge weights,
+/// or a failure of the underlying recursion.
+pub fn low_energy_cssp(
+    g: &Graph,
+    sources: &[NodeId],
+    config: &AlgoConfig,
+) -> Result<EnergyCsspRun, AlgoError> {
+    if sources.is_empty() {
+        return Err(AlgoError::EmptySourceSet);
+    }
+    let offsets: Vec<SourceOffset> = sources.iter().map(|&s| SourceOffset::plain(s)).collect();
+    let threshold = g.distance_upper_bound().max(1);
+    // The recursion: correctness, per-edge congestion, message counts, and
+    // participation structure all come from here.
+    let base = thresholded_cssp(g, &offsets, threshold, config)?;
+
+    let n = g.node_count() as usize;
+    let m = g.edge_count() as usize;
+    let log2n = ((n.max(2)) as f64).log2().ceil() as u64;
+
+    // One layered cover of the whole graph, built for hop radius n (every
+    // BFS the recursion performs is a thresholded BFS over at most n hops in
+    // the rounded graph). Its measured parameters drive the energy charges.
+    let cover = LayeredCover::construct_default(g, g.node_count() as u64);
+    let levels = cover.level_count();
+    let megaround: u64 = cover
+        .levels
+        .iter()
+        .map(|lvl| lvl.stats().max_edge_tree_load as u64)
+        .sum::<u64>()
+        .max(1);
+    // Awake rounds a node spends per low-energy thresholded BFS: a constant
+    // number of awake rounds per period per cluster it belongs to, over the
+    // activation window of O(B) periods at each level, plus initialization —
+    // the same accounting as `energy::bfs`, aggregated per level.
+    let mut per_bfs_energy: u64 = 0;
+    for j in 0..levels {
+        let lvl = &cover.levels[j];
+        let stats = lvl.stats();
+        let period = cover.radius(j);
+        let sched = ClusterSchedule::new(period, stats.max_tree_depth);
+        // A cluster stays active for O(parent diameter) wavefront steps.
+        let window = if j + 1 < levels {
+            2 * cover.levels[j + 1].max_tree_depth() + 2 * cover.radius(j + 1)
+        } else {
+            2 * stats.max_tree_depth + 2 * period
+        };
+        per_bfs_energy += stats.max_membership as u64 * sched.awake_rounds_bound(0, window.max(1));
+        per_bfs_energy += 4 * stats.max_membership as u64; // initialization cycle
+    }
+    per_bfs_energy = per_bfs_energy.max(1).saturating_mul(megaround);
+    // Each subproblem performs O(log n) thresholded BFSs (the rounded waiting
+    // BFS is simulated as O(1) thresholded BFS sweeps with ε = 1/2) plus one
+    // low-energy forest phase of O(log n) convergecasts.
+    let per_subproblem_energy = per_bfs_energy + 4 * log2n * megaround;
+
+    // Time: each subproblem of size n' costs O(ε⁻¹ · n') wavefront steps times
+    // the slowdown and megaround width, plus the forest time.
+    let mut slowdown = config.min_bfs_slowdown.max(1);
+    for j in 1..levels {
+        let latency = ClusterSchedule::new(cover.radius(j), cover.levels[j].max_tree_depth())
+            .propagation_latency();
+        slowdown = slowdown.max(latency.div_ceil((cover.radius(j) / 2).max(1)));
+    }
+    slowdown = slowdown.saturating_mul(config.slowdown_safety_factor.max(1));
+    let cutter_steps_per_node = 2 * config.epsilon_inverse + 1;
+    let rounds = base
+        .stats
+        .total_subproblem_size
+        .saturating_mul(cutter_steps_per_node)
+        .saturating_mul(slowdown)
+        .saturating_mul(megaround);
+    // Cover construction (Theorem 3.13 bootstrap), charged once.
+    let cover_build_rounds: u64 = (0..levels)
+        .map(|j| config.cover_build_round_factor * cover.radius(j) * log2n * log2n)
+        .sum();
+    let cover_build_energy = config.cover_build_energy_factor * log2n * log2n * levels as u64;
+
+    // Low-energy forest of the whole graph (Theorem 3.1) contributes its own
+    // measured metrics once per recursion level.
+    let (_forest, forest_metrics) = spanning_forest(g, true);
+
+    let mut metrics = Metrics::zero(n, m);
+    metrics.rounds = rounds + cover_build_rounds + forest_metrics.rounds * base.stats.levels as u64;
+    metrics.messages = base.metrics.messages;
+    metrics.edge_congestion = base.metrics.edge_congestion.clone();
+    // Add the cluster-tree traffic to the congestion: each cluster-tree edge
+    // carries a constant number of messages per period per BFS.
+    for (e, c) in metrics.edge_congestion.iter_mut().enumerate() {
+        let _ = e;
+        *c += 4 * levels as u64;
+    }
+    for v in 0..n {
+        metrics.node_energy[v] = base.stats.participation[v]
+            .saturating_mul(per_subproblem_energy)
+            .saturating_add(cover_build_energy)
+            .saturating_add(forest_metrics.node_energy[v] * base.stats.levels as u64)
+            // A node can never be awake for more rounds than the execution has.
+            .min(metrics.rounds);
+    }
+
+    Ok(EnergyCsspRun {
+        output: base.output,
+        metrics,
+        stats: base.stats,
+        per_subproblem_energy,
+        megaround,
+        cover_levels: levels,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::{generators, sequential};
+
+    fn check(g: &Graph, sources: &[NodeId]) -> EnergyCsspRun {
+        let run = low_energy_cssp(g, sources, &AlgoConfig::default()).unwrap();
+        let truth = sequential::dijkstra(g, sources);
+        for v in g.nodes() {
+            assert_eq!(run.distance(v), truth.distance(v), "node {v}");
+        }
+        run
+    }
+
+    #[test]
+    fn distances_are_exact() {
+        for seed in 0..3 {
+            let g = generators::with_random_weights(&generators::random_connected(30, 45, seed), 8, seed);
+            check(&g, &[NodeId(0)]);
+        }
+    }
+
+    #[test]
+    fn multi_source_distances_are_exact() {
+        let g = generators::with_random_weights(&generators::grid(5, 5, 1), 5, 1);
+        check(&g, &[NodeId(0), NodeId(24)]);
+    }
+
+    #[test]
+    fn energy_grows_with_participation_not_with_n() {
+        // The energy of every node is (participation) × (polylog charge): it
+        // must stay far below the always-awake cost of Θ(n) per node once n is
+        // moderately large.
+        let g = generators::path(128, 2);
+        let run = check(&g, &[NodeId(0)]);
+        let always_awake = run.metrics.rounds; // what a naive node would pay
+        assert!(run.metrics.max_energy() < always_awake);
+        assert!(run.per_subproblem_energy > 0);
+        assert!(run.megaround >= 1);
+        assert!(run.cover_levels >= 1);
+    }
+
+    #[test]
+    fn rejects_zero_weights_and_empty_sources() {
+        let cfg = AlgoConfig::default();
+        let g = Graph::from_edges(3, [(0, 1, 0), (1, 2, 1)]).unwrap();
+        assert!(matches!(
+            low_energy_cssp(&g, &[NodeId(0)], &cfg),
+            Err(AlgoError::ZeroWeightNotSupported { .. })
+        ));
+        let g = generators::path(3, 1);
+        assert!(matches!(low_energy_cssp(&g, &[], &cfg), Err(AlgoError::EmptySourceSet)));
+    }
+}

@@ -1,0 +1,14 @@
+//! The sleeping-model ("energy") algorithms of Section 3 of the paper.
+//!
+//! * [`bfs`] — `D`-thresholded BFS with `poly(log n)` energy per node and
+//!   `Õ(D)` time, coordinated through a layered sparse cover
+//!   (Theorems 3.8, 3.13, 3.14).
+//! * [`cssp`] — weighted closest-source shortest paths with `Õ(n)` time and
+//!   `poly(log n)` energy (Theorem 3.15), obtained by plugging the low-energy
+//!   BFS and the low-energy spanning forest into the Section-2 recursion.
+
+pub mod bfs;
+pub mod cssp;
+
+pub use bfs::{low_energy_bfs, low_energy_bfs_with_cover, EnergyBfsRun};
+pub use cssp::{low_energy_cssp, EnergyCsspRun};

@@ -1,0 +1,110 @@
+//! Error types for the algorithms in this crate.
+
+use std::error::Error;
+use std::fmt;
+
+use congest_graph::{EdgeId, NodeId};
+use congest_sim::SimError;
+
+/// Errors produced by the distributed algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AlgoError {
+    /// The source set was empty.
+    EmptySourceSet,
+    /// A source node id was out of range for the graph.
+    SourceOutOfRange {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// A per-edge weight map did not have one entry per edge.
+    WeightMapMismatch {
+        /// Expected number of entries (the graph's edge count).
+        expected: usize,
+        /// Number of entries supplied.
+        found: usize,
+    },
+    /// A zero edge weight was passed to a subroutine that requires positive
+    /// weights (zero weights are handled by contraction at the API boundary,
+    /// Theorem 2.7).
+    ZeroWeightNotSupported {
+        /// The offending edge.
+        edge: EdgeId,
+    },
+    /// The underlying simulation failed (round limit or CONGEST violation).
+    Simulation(SimError),
+    /// The low-energy BFS wake schedule could not keep ahead of the BFS
+    /// wavefront (the invariant of Lemma 3.7 was violated); indicates the
+    /// configured slowdown constants are too aggressive for this instance.
+    WakeScheduleViolation {
+        /// The cluster level at which the violation occurred.
+        level: usize,
+        /// The round at which the BFS reached the cluster.
+        reached_at: u64,
+        /// The round at which the cluster only became fully awake.
+        awake_at: u64,
+    },
+}
+
+impl fmt::Display for AlgoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgoError::EmptySourceSet => write!(f, "the source set must be non-empty"),
+            AlgoError::SourceOutOfRange { node } => {
+                write!(f, "source node {node} is out of range")
+            }
+            AlgoError::WeightMapMismatch { expected, found } => {
+                write!(f, "weight map has {found} entries but the graph has {expected} edges")
+            }
+            AlgoError::ZeroWeightNotSupported { edge } => {
+                write!(f, "edge {edge} has weight zero, which this subroutine does not accept")
+            }
+            AlgoError::Simulation(e) => write!(f, "simulation failed: {e}"),
+            AlgoError::WakeScheduleViolation { level, reached_at, awake_at } => write!(
+                f,
+                "wake schedule violated at level {level}: BFS arrived at round {reached_at} before the cluster was awake at round {awake_at}"
+            ),
+        }
+    }
+}
+
+impl Error for AlgoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AlgoError::Simulation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for AlgoError {
+    fn from(e: SimError) -> Self {
+        AlgoError::Simulation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(AlgoError::EmptySourceSet.to_string().contains("non-empty"));
+        assert!(AlgoError::SourceOutOfRange { node: NodeId(3) }.to_string().contains("v3"));
+        assert!(AlgoError::WeightMapMismatch { expected: 4, found: 2 }
+            .to_string()
+            .contains("2 entries"));
+        assert!(AlgoError::ZeroWeightNotSupported { edge: EdgeId(1) }.to_string().contains("e1"));
+        let sim = AlgoError::Simulation(SimError::RoundLimitExceeded { limit: 5, unhalted_nodes: 1 });
+        assert!(sim.to_string().contains("simulation failed"));
+        assert!(Error::source(&sim).is_some());
+        let wake = AlgoError::WakeScheduleViolation { level: 1, reached_at: 10, awake_at: 20 };
+        assert!(wake.to_string().contains("level 1"));
+    }
+
+    #[test]
+    fn sim_error_converts() {
+        let e: AlgoError = SimError::RoundLimitExceeded { limit: 1, unhalted_nodes: 2 }.into();
+        assert!(matches!(e, AlgoError::Simulation(_)));
+    }
+}

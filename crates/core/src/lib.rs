@@ -1,0 +1,60 @@
+//! Distributed shortest-path algorithms from *"A Near-Optimal Low-Energy
+//! Deterministic Distributed SSSP with Ramifications on Congestion and APSP"*
+//! (Ghaffari & Trygub, PODC 2024), implemented over the CONGEST / sleeping
+//! model simulator of [`congest_sim`].
+//!
+//! # What is in here
+//!
+//! * **Low-congestion exact SSSP/CSSP** ([`cssp`], [`thresholded`],
+//!   [`approx`], [`spanning_forest`]): the recursive "distributified
+//!   Dijkstra" of Section 2 — `Õ(n)` rounds, `Õ(m)` messages, and only
+//!   `poly(log n)` messages over any single edge (Theorems 2.6, 2.7).
+//! * **APSP in `Õ(n)` rounds** ([`apsp`]): `n` independent SSSP instances
+//!   composed with random-delay scheduling.
+//! * **Low-energy BFS and CSSP** ([`energy`]): the sleeping-model algorithms
+//!   of Section 3, coordinated through the deterministic sparse covers of
+//!   [`congest_cover`] — `poly(log n)` awake rounds per node
+//!   (Theorems 3.8, 3.13, 3.14, 3.15).
+//! * **Baselines** ([`baseline`], [`bfs`]): distributed Bellman–Ford,
+//!   distributed Dijkstra, and the always-awake BFS, for the experiments in
+//!   `EXPERIMENTS.md`.
+//!
+//! # Quick start
+//!
+//! ```
+//! use congest_graph::{generators, NodeId};
+//! use congest_sssp::cssp::sssp;
+//! use congest_sssp::AlgoConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let g = generators::with_random_weights(&generators::grid(6, 6, 1), 10, 42);
+//! let run = sssp(&g, NodeId(0), &AlgoConfig::default())?;
+//! println!(
+//!     "distance to the far corner: {}, rounds: {}, max congestion: {}",
+//!     run.distance(NodeId(35)),
+//!     run.metrics.rounds,
+//!     run.metrics.max_congestion()
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod approx;
+pub mod apsp;
+pub mod baseline;
+pub mod bfs;
+mod config;
+pub mod cssp;
+pub mod energy;
+mod error;
+mod result;
+pub mod spanning_forest;
+pub mod thresholded;
+pub mod weighted_bfs;
+
+pub use config::AlgoConfig;
+pub use error::AlgoError;
+pub use result::{AlgoRun, DistanceOutput, SourceOffset};

@@ -1,0 +1,110 @@
+//! Result types shared by all algorithms in this crate.
+
+use congest_graph::{Distance, NodeId};
+use congest_sim::{EdgeUsageTrace, Metrics};
+use serde::{Deserialize, Serialize};
+
+/// The distance output of a CSSP/SSSP/BFS computation: one distance per node
+/// (indexed by [`NodeId`]), `Infinite` for nodes that are unreachable or
+/// beyond the requested threshold.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DistanceOutput {
+    /// `distances[v]` is the computed distance of node `v` from the source set.
+    pub distances: Vec<Distance>,
+}
+
+impl DistanceOutput {
+    /// An all-infinite output for `n` nodes.
+    pub fn infinite(n: usize) -> Self {
+        DistanceOutput { distances: vec![Distance::Infinite; n] }
+    }
+
+    /// The distance of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn distance(&self, v: NodeId) -> Distance {
+        self.distances[v.index()]
+    }
+
+    /// Number of nodes with a finite distance.
+    pub fn reached_count(&self) -> usize {
+        self.distances.iter().filter(|d| d.is_finite()).count()
+    }
+}
+
+/// A completed algorithm run: the distance output plus the complexity
+/// measurements of the execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlgoRun {
+    /// The computed distances.
+    pub output: DistanceOutput,
+    /// Rounds, messages, per-edge congestion, per-node energy.
+    pub metrics: Metrics,
+    /// Optional per-round edge usage trace (for the APSP scheduler), present
+    /// when [`crate::AlgoConfig::record_traces`] was enabled.
+    pub trace: Option<EdgeUsageTrace>,
+}
+
+impl AlgoRun {
+    /// Convenience accessor: the distance of node `v`.
+    pub fn distance(&self, v: NodeId) -> Distance {
+        self.output.distance(v)
+    }
+}
+
+/// A source node together with an initial distance offset. Plain sources have
+/// offset 0; the recursion of Section 2.3 uses positive offsets to stand in
+/// for the "imaginary" cut nodes on boundary edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SourceOffset {
+    /// The source node.
+    pub node: NodeId,
+    /// The initial distance of the source (0 for ordinary sources).
+    pub offset: u64,
+}
+
+impl SourceOffset {
+    /// An ordinary source with offset 0.
+    pub fn plain(node: NodeId) -> Self {
+        SourceOffset { node, offset: 0 }
+    }
+}
+
+impl From<NodeId> for SourceOffset {
+    fn from(node: NodeId) -> Self {
+        SourceOffset::plain(node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infinite_output() {
+        let o = DistanceOutput::infinite(3);
+        assert_eq!(o.reached_count(), 0);
+        assert!(o.distance(NodeId(2)).is_infinite());
+    }
+
+    #[test]
+    fn source_offsets() {
+        let s = SourceOffset::plain(NodeId(4));
+        assert_eq!(s.offset, 0);
+        let s: SourceOffset = NodeId(2).into();
+        assert_eq!(s.node, NodeId(2));
+    }
+
+    #[test]
+    fn algo_run_accessor() {
+        let run = AlgoRun {
+            output: DistanceOutput { distances: vec![Distance::Finite(3), Distance::Infinite] },
+            metrics: Metrics::zero(2, 1),
+            trace: None,
+        };
+        assert_eq!(run.distance(NodeId(0)).finite(), Some(3));
+        assert_eq!(run.output.reached_count(), 1);
+    }
+}

@@ -1,0 +1,321 @@
+//! Distributed maximal spanning forest via Boruvka-style fragment merging
+//! (Theorem 2.2, and its low-energy adaptation, Theorem 3.1).
+//!
+//! The algorithm proceeds in `O(log n)` merge phases. In each phase every
+//! fragment finds an arbitrary outgoing edge (we deterministically pick the
+//! smallest edge id, mirroring the deterministic tie-breaking the paper needs)
+//! by exchanging fragment identifiers across every edge and convergecasting
+//! the candidates up the fragment tree; fragments connected by chosen edges
+//! then merge. After `O(log n)` phases no outgoing edges remain and the chosen
+//! edges form a maximal spanning forest.
+//!
+//! The merging itself is computed by the orchestrator (exactly the same object
+//! a distributed execution would compute); the *costs* are charged per phase
+//! following the paper's accounting:
+//!
+//! * **time**: `2 · (max fragment tree depth) + 4` rounds per phase
+//!   (fragment-id exchange, convergecast up, broadcast down, merge
+//!   announcements),
+//! * **congestion**: 2 messages per edge for the id exchange plus 3 per tree
+//!   edge for convergecast/broadcast/merge,
+//! * **energy**: in the always-awake variant every node is awake for the whole
+//!   phase; in the low-energy variant (Theorem 3.1) nodes follow a periodic
+//!   convergecast schedule and are awake `O(1)` rounds per phase.
+
+use congest_graph::{EdgeId, Graph, NodeId};
+use congest_sim::Metrics;
+use serde::{Deserialize, Serialize};
+
+/// A rooted maximal spanning forest computed by the distributed algorithm.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DistributedForest {
+    /// The edges selected into the forest.
+    pub tree_edges: Vec<EdgeId>,
+    /// `parents[v]` in the rooted forest (`None` for roots).
+    pub parents: Vec<Option<NodeId>>,
+    /// `roots[v]` is the root of `v`'s tree (the smallest node id of its
+    /// component, giving a deterministic orientation).
+    pub roots: Vec<NodeId>,
+    /// `depths[v]` in the rooted forest.
+    pub depths: Vec<u64>,
+    /// `component_of[v]` is a dense component label.
+    pub component_of: Vec<usize>,
+    /// Number of connected components.
+    pub component_count: usize,
+    /// Number of Boruvka merge phases executed.
+    pub phases: u64,
+}
+
+impl DistributedForest {
+    /// The maximum tree depth over all components.
+    pub fn max_depth(&self) -> u64 {
+        self.depths.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Computes a maximal spanning forest of `g` distributedly (Boruvka phases)
+/// and returns it together with the charged complexity [`Metrics`].
+///
+/// With `low_energy = false` the accounting follows Theorem 2.2 (every node
+/// awake for the whole run); with `low_energy = true` it follows Theorem 3.1
+/// (periodic convergecast schedules, `O(1)` awake rounds per node per phase).
+pub fn spanning_forest(g: &Graph, low_energy: bool) -> (DistributedForest, Metrics) {
+    let n = g.node_count() as usize;
+    let m = g.edge_count() as usize;
+    let mut metrics = Metrics::zero(n, m);
+    if n == 0 {
+        let forest = DistributedForest {
+            tree_edges: vec![],
+            parents: vec![],
+            roots: vec![],
+            depths: vec![],
+            component_of: vec![],
+            component_count: 0,
+            phases: 0,
+        };
+        return (forest, metrics);
+    }
+
+    // Fragment id per node (initially its own id) and accumulated tree edges.
+    let mut fragment: Vec<u32> = (0..n as u32).collect();
+    let mut tree_edges: Vec<EdgeId> = Vec::new();
+    let mut phases = 0u64;
+
+    loop {
+        // Current forest adjacency (for depth computation and convergecast
+        // cost accounting).
+        let depth_now = forest_max_depth(g, n, &tree_edges);
+
+        // Each fragment picks its smallest-id outgoing edge. Only edges that
+        // still cross fragments are probed (an edge whose endpoints merged in
+        // an earlier phase is known to be internal and stays silent).
+        let mut choice: std::collections::HashMap<u32, EdgeId> = std::collections::HashMap::new();
+        let mut probed_edges: Vec<EdgeId> = Vec::new();
+        for e in g.edge_ids() {
+            let edge = g.edge(e);
+            let (fu, fv) = (fragment[edge.u.index()], fragment[edge.v.index()]);
+            if fu == fv {
+                continue;
+            }
+            probed_edges.push(e);
+            for f in [fu, fv] {
+                let entry = choice.entry(f).or_insert(e);
+                if e < *entry {
+                    *entry = e;
+                }
+            }
+        }
+        if choice.is_empty() {
+            break;
+        }
+        phases += 1;
+
+        // Merge fragments along chosen edges (and add the chosen edges to the
+        // forest, skipping duplicates chosen by both endpoints' fragments).
+        let mut newly_chosen: Vec<EdgeId> = choice.values().copied().collect();
+        newly_chosen.sort();
+        newly_chosen.dedup();
+        for &e in &newly_chosen {
+            let edge = g.edge(e);
+            let (fu, fv) = (fragment[edge.u.index()], fragment[edge.v.index()]);
+            if fu == fv {
+                continue; // already merged transitively within this phase
+            }
+            tree_edges.push(e);
+            // Relabel the smaller fragment-id group to the larger's label (any
+            // deterministic rule works; a distributed implementation floods
+            // the winning label through the merged fragment).
+            let (winner, loser) = if fu < fv { (fu, fv) } else { (fv, fu) };
+            for f in fragment.iter_mut() {
+                if *f == loser {
+                    *f = winner;
+                }
+            }
+        }
+
+        // Charge the phase costs. The convergecast that finds the outgoing
+        // edge runs over the pre-merge fragment trees; announcing and
+        // installing the merge floods the post-merge fragment trees.
+        let depth_after = forest_max_depth(g, n, &tree_edges);
+        let phase_rounds = 2 * depth_now + 2 * depth_after + 4;
+        metrics.rounds += phase_rounds;
+        for &e in &probed_edges {
+            // Fragment-id exchange across every still-crossing edge (both
+            // directions).
+            metrics.edge_congestion[e.index()] += 2;
+            metrics.messages += 2;
+        }
+        for &e in &tree_edges {
+            // Convergecast + broadcast + merge announcement on tree edges.
+            metrics.edge_congestion[e.index()] += 3;
+            metrics.messages += 3;
+        }
+        for v in 0..n {
+            metrics.node_energy[v] += if low_energy { 4 } else { phase_rounds };
+        }
+    }
+
+    // Root every component at its smallest node id and orient the tree.
+    let (parents, roots, depths, component_of, component_count) = orient_forest(g, n, &tree_edges);
+    let forest = DistributedForest {
+        tree_edges,
+        parents,
+        roots,
+        depths,
+        component_of,
+        component_count,
+        phases,
+    };
+    (forest, metrics)
+}
+
+/// Maximum depth of the current forest when each component is rooted at its
+/// smallest node id.
+fn forest_max_depth(g: &Graph, n: usize, tree_edges: &[EdgeId]) -> u64 {
+    let (_, _, depths, _, _) = orient_forest(g, n, tree_edges);
+    depths.iter().copied().max().unwrap_or(0)
+}
+
+#[allow(clippy::type_complexity)]
+fn orient_forest(
+    g: &Graph,
+    n: usize,
+    tree_edges: &[EdgeId],
+) -> (Vec<Option<NodeId>>, Vec<NodeId>, Vec<u64>, Vec<usize>, usize) {
+    let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for &e in tree_edges {
+        let edge = g.edge(e);
+        adj[edge.u.index()].push(edge.v);
+        adj[edge.v.index()].push(edge.u);
+    }
+    let mut parents = vec![None; n];
+    let mut roots: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+    let mut depths = vec![0u64; n];
+    let mut component_of = vec![usize::MAX; n];
+    let mut count = 0usize;
+    for start in 0..n {
+        if component_of[start] != usize::MAX {
+            continue;
+        }
+        let root = NodeId(start as u32);
+        component_of[start] = count;
+        roots[start] = root;
+        let mut q = std::collections::VecDeque::from([root]);
+        while let Some(v) = q.pop_front() {
+            for &u in &adj[v.index()] {
+                if component_of[u.index()] == usize::MAX {
+                    component_of[u.index()] = count;
+                    parents[u.index()] = Some(v);
+                    roots[u.index()] = root;
+                    depths[u.index()] = depths[v.index()] + 1;
+                    q.push_back(u);
+                }
+            }
+        }
+        count += 1;
+    }
+    (parents, roots, depths, component_of, count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::{generators, sequential};
+
+    fn check_forest(g: &Graph) -> (DistributedForest, Metrics) {
+        let (forest, metrics) = spanning_forest(g, false);
+        let expected = sequential::connected_components(g);
+        assert_eq!(forest.component_count, expected.component_count);
+        // The forest has exactly n - #components edges and spans components.
+        assert_eq!(
+            forest.tree_edges.len(),
+            g.node_count() as usize - expected.component_count
+        );
+        for v in g.nodes() {
+            assert!(expected.same_component(v, forest.roots[v.index()]));
+            match forest.parents[v.index()] {
+                Some(p) => {
+                    assert!(g.has_edge(v, p));
+                    assert_eq!(forest.depths[v.index()], forest.depths[p.index()] + 1);
+                }
+                None => {
+                    assert_eq!(forest.roots[v.index()], v);
+                    assert_eq!(forest.depths[v.index()], 0);
+                }
+            }
+        }
+        (forest, metrics)
+    }
+
+    #[test]
+    fn forest_of_connected_random_graphs() {
+        for seed in 0..4 {
+            let g = generators::random_connected(50, 80, seed);
+            let (forest, _) = check_forest(&g);
+            assert_eq!(forest.component_count, 1);
+        }
+    }
+
+    #[test]
+    fn forest_of_disconnected_graph() {
+        let g = generators::disjoint_copies(&generators::random_connected(15, 20, 1), 4);
+        let (forest, _) = check_forest(&g);
+        assert_eq!(forest.component_count, 4);
+    }
+
+    #[test]
+    fn forest_of_edgeless_graph() {
+        let g = Graph::empty(6);
+        let (forest, metrics) = spanning_forest(&g, false);
+        assert_eq!(forest.component_count, 6);
+        assert_eq!(forest.tree_edges.len(), 0);
+        assert_eq!(forest.phases, 0);
+        assert_eq!(metrics.rounds, 0);
+    }
+
+    #[test]
+    fn phase_count_is_logarithmic() {
+        let g = generators::random_connected(128, 300, 7);
+        let (forest, _) = check_forest(&g);
+        assert!(
+            forest.phases <= 9,
+            "Boruvka should finish in <= log2(n) + 2 phases, took {}",
+            forest.phases
+        );
+    }
+
+    #[test]
+    fn congestion_is_polylogarithmic() {
+        let g = generators::random_connected(200, 600, 5);
+        let (forest, metrics) = spanning_forest(&g, false);
+        // At most 5 messages per edge per phase.
+        assert!(metrics.max_congestion() <= 5 * forest.phases);
+        assert!(metrics.max_congestion() <= 5 * 10);
+    }
+
+    #[test]
+    fn low_energy_variant_caps_node_energy_per_phase() {
+        let g = generators::random_connected(100, 200, 3);
+        let (forest_hi, hi) = spanning_forest(&g, false);
+        let (forest_lo, lo) = spanning_forest(&g, true);
+        assert_eq!(forest_hi.tree_edges, forest_lo.tree_edges, "same deterministic forest");
+        assert!(lo.max_energy() <= 4 * forest_lo.phases);
+        assert!(lo.max_energy() <= hi.max_energy());
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let g = generators::random_connected(60, 90, 11);
+        let (a, _) = spanning_forest(&g, false);
+        let (b, _) = spanning_forest(&g, false);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn path_forest_depth_equals_length() {
+        let g = generators::path(20, 1);
+        let (forest, metrics) = check_forest(&g);
+        assert_eq!(forest.max_depth(), 19);
+        assert!(metrics.rounds >= forest.max_depth());
+    }
+}

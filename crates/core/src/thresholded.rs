@@ -1,0 +1,473 @@
+//! The `D`-thresholded CSSP recursion of Section 2.3 — the paper's
+//! "distributified Dijkstra".
+//!
+//! Given a threshold `D`, the recursion:
+//!
+//! 1. builds a spanning forest of the active node set for per-component
+//!    coordination ([`crate::spanning_forest`], Theorem 2.2),
+//! 2. runs the approximate cutter (Lemma 2.1, [`crate::approx`]) with `W = D`
+//!    and keeps `V₁ = {v : dist'(S, v) ≤ D + err}` — a superset of every node
+//!    within distance `D`,
+//! 3. recurses on `V₁` with threshold `D/2` from the original sources,
+//! 4. charges the per-component convergecast that coordinates the start of
+//!    the second half (`Θ(|V'|)` rounds, Section 2.3 step 4),
+//! 5. forms the "cut": every node of `V₁ \ V₂` adjacent to the exactly-solved
+//!    set `V₂ = {v : dist(S, v) ≤ D/2}` becomes a source of the second
+//!    recursion with offset `dist(S, v) + w(v, u) − D/2` (this is the
+//!    imaginary-node device of the paper, expressed as source offsets), and
+//!    original sources whose own offset exceeds `D/2` are carried over with
+//!    offset reduced by `D/2`,
+//! 6. recurses on `V₁ \ V₂` with threshold `D/2` from the cut sources and
+//!    combines: `dist(S, y) = D/2 + dist(X, y)`.
+//!
+//! Every distance-carrying step (the cutter's waiting BFS) executes as a real
+//! CONGEST protocol on the induced subgraph; the recursion bookkeeping and
+//! coordination costs are charged by the orchestrator following the paper's
+//! own accounting (see DESIGN.md §6).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use congest_graph::{Distance, EdgeId, Graph, NodeId, Weight};
+use congest_sim::Metrics;
+use serde::{Deserialize, Serialize};
+
+use crate::approx::approximate_cssp;
+use crate::result::{AlgoRun, DistanceOutput, SourceOffset};
+use crate::spanning_forest::spanning_forest;
+use crate::{AlgoConfig, AlgoError};
+
+/// Instrumentation of the recursion tree (used by experiment E10 to check
+/// Lemma 2.4 / Corollary 2.5: every node appears in `O(log D)` subproblems).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecursionStats {
+    /// Total number of subproblems solved (recursion-tree nodes).
+    pub subproblems: u64,
+    /// `participation[v]` is the number of subproblems whose active node set
+    /// contained node `v`.
+    pub participation: Vec<u64>,
+    /// Sum of active-node-set sizes over all subproblems
+    /// (`O(n log D)` by Corollary 2.5).
+    pub total_subproblem_size: u64,
+    /// The number of recursion levels (`log₂ D`).
+    pub levels: u32,
+}
+
+impl RecursionStats {
+    /// The maximum number of subproblems any single node participated in.
+    pub fn max_participation(&self) -> u64 {
+        self.participation.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// The result of a thresholded CSSP run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdedRun {
+    /// Distances of nodes within the threshold (infinite beyond it).
+    pub output: DistanceOutput,
+    /// Complexity measurements, attributed to the original graph's nodes and
+    /// edges.
+    pub metrics: Metrics,
+    /// Recursion instrumentation.
+    pub stats: RecursionStats,
+}
+
+impl ThresholdedRun {
+    /// Converts into the generic [`AlgoRun`] (dropping the recursion stats).
+    pub fn into_algo_run(self) -> AlgoRun {
+        AlgoRun { output: self.output, metrics: self.metrics, trace: None }
+    }
+}
+
+/// Accumulates metrics and instrumentation across the recursion.
+struct Accumulator {
+    metrics: Metrics,
+    participation: Vec<u64>,
+    subproblems: u64,
+    total_size: u64,
+}
+
+impl Accumulator {
+    fn new(n: usize, m: usize) -> Self {
+        Accumulator {
+            metrics: Metrics::zero(n, m),
+            participation: vec![0; n],
+            subproblems: 0,
+            total_size: 0,
+        }
+    }
+
+    fn register_subproblem(&mut self, nodes: &BTreeSet<NodeId>) {
+        self.subproblems += 1;
+        self.total_size += nodes.len() as u64;
+        for &v in nodes {
+            self.participation[v.index()] += 1;
+        }
+    }
+
+    fn add_phase(&mut self, phase: &Metrics) {
+        self.metrics.merge_sequential(phase);
+    }
+
+    /// Charges a coordination phase of `rounds` rounds in which every node of
+    /// `nodes` is awake (spanning-tree convergecast / start-time agreement).
+    fn charge_coordination(&mut self, nodes: &BTreeSet<NodeId>, rounds: u64) {
+        self.metrics.rounds += rounds;
+        for &v in nodes {
+            self.metrics.node_energy[v.index()] += rounds;
+        }
+    }
+}
+
+/// Builds the induced subgraph of `keep` together with node and edge maps back
+/// to the original graph.
+fn induced_with_maps(g: &Graph, keep: &BTreeSet<NodeId>) -> (Graph, Vec<NodeId>, Vec<EdgeId>) {
+    let mut old_to_new = vec![u32::MAX; g.node_count() as usize];
+    let mut node_map = Vec::with_capacity(keep.len());
+    for (idx, &v) in keep.iter().enumerate() {
+        old_to_new[v.index()] = idx as u32;
+        node_map.push(v);
+    }
+    let mut builder = Graph::builder(keep.len() as u32);
+    let mut edge_map = Vec::new();
+    for e in g.edge_ids() {
+        let edge = g.edge(e);
+        let (nu, nv) = (old_to_new[edge.u.index()], old_to_new[edge.v.index()]);
+        if nu != u32::MAX && nv != u32::MAX {
+            builder.add_edge(nu, nv, edge.w).expect("existing edges are valid");
+            edge_map.push(e);
+        }
+    }
+    (builder.build(), node_map, edge_map)
+}
+
+/// Runs the `threshold`-thresholded CSSP from `sources` (with offsets): every
+/// node at (offset) distance at most `threshold` learns its exact distance,
+/// every other node outputs [`Distance::Infinite`].
+///
+/// All edge weights must be positive (zero weights are contracted away by
+/// [`crate::cssp::cssp`] before reaching this function).
+///
+/// # Errors
+///
+/// Returns an error for an empty source set, an out-of-range source, a zero
+/// edge weight, or a simulation failure.
+pub fn thresholded_cssp(
+    g: &Graph,
+    sources: &[SourceOffset],
+    threshold: u64,
+    config: &AlgoConfig,
+) -> Result<ThresholdedRun, AlgoError> {
+    if sources.is_empty() {
+        return Err(AlgoError::EmptySourceSet);
+    }
+    for s in sources {
+        if !g.contains_node(s.node) {
+            return Err(AlgoError::SourceOutOfRange { node: s.node });
+        }
+    }
+    if let Some(e) = g.edges().iter().position(|e| e.w == 0) {
+        return Err(AlgoError::ZeroWeightNotSupported { edge: EdgeId(e as u32) });
+    }
+    let n = g.node_count() as usize;
+    let m = g.edge_count() as usize;
+    // Round the threshold up to a power of two so that halving stays exact
+    // down to the base case D = 1 (the paper picks D = 2^L similarly).
+    let threshold = threshold.max(1).next_power_of_two();
+    let mut acc = Accumulator::new(n, m);
+    let all_nodes: BTreeSet<NodeId> = g.nodes().collect();
+    let solved = solve(g, &all_nodes, sources, threshold, config, &mut acc)?;
+
+    let mut distances = vec![Distance::Infinite; n];
+    for (v, d) in solved {
+        distances[v.index()] = Distance::Finite(d);
+    }
+    let stats = RecursionStats {
+        subproblems: acc.subproblems,
+        participation: acc.participation,
+        total_subproblem_size: acc.total_size,
+        levels: threshold.trailing_zeros() + 1,
+    };
+    Ok(ThresholdedRun { output: DistanceOutput { distances }, metrics: acc.metrics, stats })
+}
+
+/// Solves one subproblem: distances (at most `d`) from `sources` within the
+/// induced subgraph on `nodes`. Distances are keyed by original node id.
+fn solve(
+    g: &Graph,
+    nodes: &BTreeSet<NodeId>,
+    sources: &[SourceOffset],
+    d: u64,
+    config: &AlgoConfig,
+    acc: &mut Accumulator,
+) -> Result<BTreeMap<NodeId, Weight>, AlgoError> {
+    // Keep only sources that are part of this subproblem.
+    let sources: Vec<SourceOffset> =
+        sources.iter().copied().filter(|s| nodes.contains(&s.node)).collect();
+    if sources.is_empty() || nodes.is_empty() {
+        return Ok(BTreeMap::new());
+    }
+    acc.register_subproblem(nodes);
+
+    if d <= config.base_case_threshold.max(1) {
+        return Ok(base_case(g, nodes, &sources, d, acc));
+    }
+
+    let (sub, node_map, edge_map) = induced_with_maps(g, nodes);
+    let to_sub: BTreeMap<NodeId, NodeId> = node_map
+        .iter()
+        .enumerate()
+        .map(|(i, &orig)| (orig, NodeId(i as u32)))
+        .collect();
+
+    // Step 1: spanning forest for per-component coordination (Theorem 2.2).
+    let (_forest, forest_metrics) = spanning_forest(&sub, false);
+    acc.add_phase(&forest_metrics.remap(&node_map, &edge_map, g.node_count() as usize, g.edge_count() as usize));
+
+    // Step 2: approximate cutter with W = d (Lemma 2.1).
+    let sub_sources: Vec<SourceOffset> = sources
+        .iter()
+        .map(|s| SourceOffset { node: to_sub[&s.node], offset: s.offset })
+        .collect();
+    let cut = approximate_cssp(&sub, &sub_sources, d, config)?;
+    acc.add_phase(&cut.metrics.remap(&node_map, &edge_map, g.node_count() as usize, g.edge_count() as usize));
+
+    // Step 3: V1 = nodes whose estimate is within d + err.
+    let include = cut.inclusion_threshold(d);
+    let v1: BTreeSet<NodeId> = node_map
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| cut.estimates[i] <= include)
+        .map(|(_, &orig)| orig)
+        .collect();
+
+    let d1 = d / 2;
+
+    // Step 4: first half of the recursion — distances up to d1 from S.
+    let first = solve(g, &v1, &sources, d1, config, acc)?;
+
+    // Step 5: per-component convergecast to agree on the start of the second
+    // half (charged as Θ(|V'|) rounds with the subproblem's nodes awake).
+    acc.charge_coordination(nodes, 2 * nodes.len() as u64 + 2);
+
+    // Step 6: second half — the cut sources.
+    let v2: BTreeSet<NodeId> = first.keys().copied().collect();
+    let rest: BTreeSet<NodeId> = v1.difference(&v2).copied().collect();
+    let mut cut_offsets: BTreeMap<NodeId, Weight> = BTreeMap::new();
+    for (&v, &dist_v) in &first {
+        for adj in g.neighbors(v) {
+            let u = adj.neighbor;
+            if rest.contains(&u) {
+                let through = dist_v + adj.weight;
+                debug_assert!(through > d1, "u would have distance <= d1 and belong to V2");
+                let offset = through - d1;
+                cut_offsets
+                    .entry(u)
+                    .and_modify(|o| *o = (*o).min(offset))
+                    .or_insert(offset);
+            }
+        }
+    }
+    // Original sources whose offset exceeds d1 still act as sources of the
+    // second half, shifted by d1 (the "virtual edge" view of the offsets).
+    for s in &sources {
+        if s.offset > d1 && rest.contains(&s.node) {
+            let offset = s.offset - d1;
+            cut_offsets
+                .entry(s.node)
+                .and_modify(|o| *o = (*o).min(offset))
+                .or_insert(offset);
+        }
+    }
+    let second_sources: Vec<SourceOffset> =
+        cut_offsets.iter().map(|(&node, &offset)| SourceOffset { node, offset }).collect();
+    let second = if second_sources.is_empty() {
+        BTreeMap::new()
+    } else {
+        solve(g, &rest, &second_sources, d1, config, acc)?
+    };
+
+    // Combine: dist(S, y) = d1 + dist(X, y) for the second half.
+    let mut out = first;
+    for (v, r) in second {
+        let total = d1 + r;
+        debug_assert!(total <= d);
+        out.entry(v).and_modify(|cur| *cur = (*cur).min(total)).or_insert(total);
+    }
+    Ok(out)
+}
+
+/// Base case `D ≤ 1`: only sources with offset `≤ D` and nodes adjacent to an
+/// offset-0 source via an edge of weight `≤ D` are within distance `D`; one
+/// round of local exchange settles it (Section 2.3, step 1).
+fn base_case(
+    g: &Graph,
+    nodes: &BTreeSet<NodeId>,
+    sources: &[SourceOffset],
+    d: u64,
+    acc: &mut Accumulator,
+) -> BTreeMap<NodeId, Weight> {
+    let mut out: BTreeMap<NodeId, Weight> = BTreeMap::new();
+    for s in sources {
+        if s.offset <= d {
+            out.entry(s.node).and_modify(|cur| *cur = (*cur).min(s.offset)).or_insert(s.offset);
+        }
+    }
+    for s in sources {
+        for adj in g.neighbors(s.node) {
+            if !nodes.contains(&adj.neighbor) {
+                continue;
+            }
+            let through = s.offset + adj.weight;
+            if through <= d {
+                out.entry(adj.neighbor)
+                    .and_modify(|cur| *cur = (*cur).min(through))
+                    .or_insert(through);
+            }
+        }
+    }
+    // Charge one round of local exchange: every node in the subproblem is
+    // awake for it and each internal edge carries one message per direction.
+    acc.metrics.rounds += 1;
+    for &v in nodes {
+        acc.metrics.node_energy[v.index()] += 1;
+    }
+    for e in g.edge_ids() {
+        let edge = g.edge(e);
+        if nodes.contains(&edge.u) && nodes.contains(&edge.v) {
+            acc.metrics.edge_congestion[e.index()] += 2;
+            acc.metrics.messages += 2;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::{generators, sequential};
+
+    fn check_thresholded(g: &Graph, sources: &[NodeId], threshold: u64) -> ThresholdedRun {
+        let cfg = AlgoConfig::default();
+        let offsets: Vec<SourceOffset> = sources.iter().map(|&s| SourceOffset::plain(s)).collect();
+        let run = thresholded_cssp(g, &offsets, threshold, &cfg).unwrap();
+        let truth = sequential::dijkstra(g, sources);
+        let effective = threshold.max(1).next_power_of_two();
+        for v in g.nodes() {
+            let t = truth.distance(v);
+            if t <= Distance::Finite(effective) {
+                assert_eq!(
+                    run.output.distance(v),
+                    t,
+                    "node {v}: expected exact distance within the threshold"
+                );
+            } else {
+                assert!(
+                    run.output.distance(v).is_infinite(),
+                    "node {v}: beyond the threshold must be infinite (dist {t}, got {})",
+                    run.output.distance(v)
+                );
+            }
+        }
+        run
+    }
+
+    #[test]
+    fn full_threshold_matches_dijkstra_on_random_graphs() {
+        for seed in 0..4 {
+            let g = generators::with_random_weights(&generators::random_connected(30, 45, seed), 8, seed);
+            check_thresholded(&g, &[NodeId(0)], g.distance_upper_bound());
+        }
+    }
+
+    #[test]
+    fn multi_source_thresholded() {
+        let g = generators::with_random_weights(&generators::grid(5, 6, 1), 6, 2);
+        check_thresholded(&g, &[NodeId(0), NodeId(29)], g.distance_upper_bound());
+    }
+
+    #[test]
+    fn small_threshold_truncates() {
+        let g = generators::path(32, 3);
+        // Threshold 16 (a power of two): nodes 0..=5 are within distance 15/16.
+        let run = check_thresholded(&g, &[NodeId(0)], 16);
+        assert!(run.output.reached_count() >= 5);
+        assert!(run.output.reached_count() < 32);
+    }
+
+    #[test]
+    fn unit_weight_graphs_match_bfs() {
+        let g = generators::random_connected(40, 80, 6);
+        check_thresholded(&g, &[NodeId(0)], g.node_count() as u64);
+    }
+
+    #[test]
+    fn disconnected_graphs_leave_other_components_infinite() {
+        let g = generators::disjoint_copies(&generators::path(8, 2), 2);
+        let run = check_thresholded(&g, &[NodeId(0)], 100);
+        assert_eq!(run.output.reached_count(), 8);
+    }
+
+    #[test]
+    fn source_offsets_shift_distances() {
+        let g = generators::path(10, 2);
+        let cfg = AlgoConfig::default();
+        let sources = vec![SourceOffset { node: NodeId(0), offset: 3 }];
+        let run = thresholded_cssp(&g, &sources, 64, &cfg).unwrap();
+        for v in g.nodes() {
+            assert_eq!(run.output.distance(v).finite(), Some(3 + 2 * v.0 as u64));
+        }
+    }
+
+    #[test]
+    fn participation_is_logarithmic_in_threshold() {
+        let g = generators::with_random_weights(&generators::random_connected(60, 120, 3), 16, 3);
+        let run = check_thresholded(&g, &[NodeId(0)], g.distance_upper_bound());
+        let d = g.distance_upper_bound().next_power_of_two();
+        let levels = 64 - d.leading_zeros() as u64;
+        // Lemma 2.4: every node appears in O(log D) subproblems; our
+        // construction gives at most ~3 per level.
+        assert!(
+            run.stats.max_participation() <= 4 * (levels + 2),
+            "max participation {} vs levels {}",
+            run.stats.max_participation(),
+            levels
+        );
+        assert!(run.stats.subproblems > 1);
+        assert!(run.stats.total_subproblem_size >= g.node_count() as u64);
+    }
+
+    #[test]
+    fn congestion_stays_polylogarithmic() {
+        let g = generators::with_random_weights(&generators::random_connected(80, 160, 1), 10, 1);
+        let run = check_thresholded(&g, &[NodeId(0)], g.distance_upper_bound());
+        let d = g.distance_upper_bound().next_power_of_two();
+        let levels = (64 - d.leading_zeros()) as u64;
+        // Per level: forest (<= 5 log n per edge) + cutter (<= 2) + base cases.
+        let n = g.node_count() as f64;
+        let bound = levels * (5.0 * n.log2() + 8.0) as u64;
+        assert!(
+            run.metrics.max_congestion() <= bound,
+            "congestion {} exceeds polylog bound {}",
+            run.metrics.max_congestion(),
+            bound
+        );
+    }
+
+    #[test]
+    fn zero_weights_are_rejected_here() {
+        let g = Graph::from_edges(3, [(0, 1, 0), (1, 2, 1)]).unwrap();
+        let cfg = AlgoConfig::default();
+        let r = thresholded_cssp(&g, &[SourceOffset::plain(NodeId(0))], 10, &cfg);
+        assert!(matches!(r, Err(AlgoError::ZeroWeightNotSupported { .. })));
+    }
+
+    #[test]
+    fn empty_sources_rejected() {
+        let g = generators::path(3, 1);
+        let cfg = AlgoConfig::default();
+        assert!(matches!(
+            thresholded_cssp(&g, &[], 10, &cfg),
+            Err(AlgoError::EmptySourceSet)
+        ));
+    }
+}

@@ -1,0 +1,218 @@
+//! "Waiting BFS": a weighted BFS protocol in which the wavefront takes `w`
+//! rounds to cross an edge of (integer, positive) weight `w`.
+//!
+//! This is the distributed engine behind the rounding-based approximate
+//! cutter of Lemma 2.1 — after rounding, the weighted distance range becomes
+//! `O(n/ε)`, so waiting BFS finishes in `O(n/ε)` rounds — and each node
+//! announces its final distance exactly once, so the congestion is `O(1)`
+//! per edge.
+
+use std::sync::Arc;
+
+use congest_graph::{Distance, Graph, NodeId, Weight};
+use congest_sim::{Engine, Message, NodeCtx, Protocol};
+
+use crate::result::{AlgoRun, DistanceOutput, SourceOffset};
+use crate::{AlgoConfig, AlgoError};
+
+/// Per-node state of the waiting-BFS protocol.
+#[derive(Debug, Clone)]
+pub struct WaitingBfsNode {
+    /// The weighted distance from the source set (under the protocol's weight
+    /// map), or infinity if beyond the round limit.
+    pub dist: Distance,
+    best: Distance,
+    finalized: bool,
+    limit: u64,
+    /// Rounded weight per edge id (shared, read-only).
+    weights: Arc<Vec<Weight>>,
+}
+
+impl WaitingBfsNode {
+    fn maybe_finalize(&mut self, ctx: &mut NodeCtx<'_>) {
+        if self.finalized {
+            return;
+        }
+        if let Some(b) = self.best.finite() {
+            if b == ctx.round() {
+                self.finalized = true;
+                self.dist = self.best;
+                if b < self.limit {
+                    ctx.broadcast(&[b]);
+                }
+            }
+        }
+    }
+}
+
+impl Protocol for WaitingBfsNode {
+    fn init(&mut self, ctx: &mut NodeCtx<'_>) {
+        // `best` was pre-set to the source offset by the factory (or left
+        // infinite for non-sources). A source with offset 0 finalizes now.
+        self.maybe_finalize(ctx);
+    }
+
+    fn on_round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[Message]) {
+        for msg in inbox {
+            let w = self.weights[msg.edge.index()];
+            let cand = Distance::Finite(msg.word(0) + w);
+            if cand < self.best {
+                self.best = cand;
+            }
+        }
+        self.maybe_finalize(ctx);
+        if ctx.round() >= self.limit {
+            ctx.halt();
+        }
+    }
+}
+
+/// Runs waiting BFS from `sources` (with initial offsets) using the given
+/// per-edge weights, for `limit` rounds. Nodes whose weighted distance under
+/// `weights` exceeds `limit` output [`Distance::Infinite`].
+///
+/// The `weights` slice overrides the graph's own weights (the cutter passes
+/// rounded weights); every entry must be at least 1.
+///
+/// # Errors
+///
+/// Returns an error if the source set is empty, a source is out of range, a
+/// weight is zero, or the simulation exceeds its round limit.
+pub fn waiting_bfs(
+    g: &Graph,
+    sources: &[SourceOffset],
+    weights: &[Weight],
+    limit: u64,
+    config: &AlgoConfig,
+) -> Result<AlgoRun, AlgoError> {
+    if sources.is_empty() {
+        return Err(AlgoError::EmptySourceSet);
+    }
+    if weights.len() != g.edge_count() as usize {
+        return Err(AlgoError::WeightMapMismatch {
+            expected: g.edge_count() as usize,
+            found: weights.len(),
+        });
+    }
+    if let Some(idx) = weights.iter().position(|&w| w == 0) {
+        return Err(AlgoError::ZeroWeightNotSupported { edge: congest_graph::EdgeId(idx as u32) });
+    }
+    let mut offsets = vec![Distance::Infinite; g.node_count() as usize];
+    for s in sources {
+        if !g.contains_node(s.node) {
+            return Err(AlgoError::SourceOutOfRange { node: s.node });
+        }
+        let d = Distance::Finite(s.offset);
+        if d < offsets[s.node.index()] {
+            offsets[s.node.index()] = d;
+        }
+    }
+    let weights = Arc::new(weights.to_vec());
+    let mut sim = config.sim.clone();
+    sim.max_rounds = sim.max_rounds.max(limit + 10);
+    let run = Engine::new(g, sim).run(|id: NodeId| WaitingBfsNode {
+        dist: Distance::Infinite,
+        best: offsets[id.index()],
+        finalized: false,
+        limit,
+        weights: Arc::clone(&weights),
+    })?;
+    let distances = run.states.iter().map(|s| s.dist).collect();
+    Ok(AlgoRun { output: DistanceOutput { distances }, metrics: run.metrics, trace: run.trace })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::{generators, sequential};
+
+    fn graph_weights(g: &Graph) -> Vec<Weight> {
+        g.edges().iter().map(|e| e.w).collect()
+    }
+
+    #[test]
+    fn waiting_bfs_computes_weighted_distances() {
+        let cfg = AlgoConfig::default();
+        for seed in 0..3 {
+            let g = generators::with_random_weights(&generators::random_connected(25, 35, seed), 6, seed);
+            let limit = g.distance_upper_bound() + 1;
+            let run = waiting_bfs(&g, &[SourceOffset::plain(NodeId(0))], &graph_weights(&g), limit, &cfg)
+                .unwrap();
+            let expected = sequential::dijkstra(&g, &[NodeId(0)]);
+            for v in g.nodes() {
+                assert_eq!(run.distance(v), expected.distance(v), "seed {seed} node {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn offsets_shift_source_distances() {
+        let cfg = AlgoConfig::default();
+        let g = generators::path(6, 2);
+        let sources = [
+            SourceOffset { node: NodeId(0), offset: 5 },
+            SourceOffset { node: NodeId(5), offset: 0 },
+        ];
+        let run = waiting_bfs(&g, &sources, &graph_weights(&g), 100, &cfg).unwrap();
+        // Node 0: min(5, 0 + 5 edges * 2) = 5. Node 2: min(5 + 4, 0 + 6) = 6.
+        assert_eq!(run.distance(NodeId(0)).finite(), Some(5));
+        assert_eq!(run.distance(NodeId(2)).finite(), Some(6));
+    }
+
+    #[test]
+    fn limit_truncates_far_nodes() {
+        let cfg = AlgoConfig::default();
+        let g = generators::path(10, 3);
+        let run =
+            waiting_bfs(&g, &[SourceOffset::plain(NodeId(0))], &graph_weights(&g), 9, &cfg).unwrap();
+        assert_eq!(run.distance(NodeId(3)).finite(), Some(9));
+        assert!(run.distance(NodeId(4)).is_infinite());
+        assert!(run.metrics.rounds <= 12);
+    }
+
+    #[test]
+    fn congestion_is_constant_per_edge() {
+        let cfg = AlgoConfig::default();
+        let g = generators::with_random_weights(&generators::random_connected(40, 100, 7), 4, 7);
+        let run = waiting_bfs(
+            &g,
+            &[SourceOffset::plain(NodeId(0))],
+            &graph_weights(&g),
+            g.distance_upper_bound(),
+            &cfg,
+        )
+        .unwrap();
+        assert!(run.metrics.max_congestion() <= 2, "each endpoint announces at most once");
+    }
+
+    #[test]
+    fn custom_weight_map_overrides_graph_weights() {
+        let cfg = AlgoConfig::default();
+        let g = generators::path(4, 100);
+        // Override all weights to 1: distances become hop counts.
+        let run = waiting_bfs(&g, &[SourceOffset::plain(NodeId(0))], &[1, 1, 1], 10, &cfg).unwrap();
+        assert_eq!(run.distance(NodeId(3)).finite(), Some(3));
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected() {
+        let cfg = AlgoConfig::default();
+        let g = generators::path(4, 1);
+        assert!(matches!(
+            waiting_bfs(&g, &[], &[1, 1, 1], 10, &cfg),
+            Err(AlgoError::EmptySourceSet)
+        ));
+        assert!(matches!(
+            waiting_bfs(&g, &[SourceOffset::plain(NodeId(0))], &[1, 1], 10, &cfg),
+            Err(AlgoError::WeightMapMismatch { expected: 3, found: 2 })
+        ));
+        assert!(matches!(
+            waiting_bfs(&g, &[SourceOffset::plain(NodeId(0))], &[1, 0, 1], 10, &cfg),
+            Err(AlgoError::ZeroWeightNotSupported { .. })
+        ));
+        assert!(matches!(
+            waiting_bfs(&g, &[SourceOffset::plain(NodeId(7))], &[1, 1, 1], 10, &cfg),
+            Err(AlgoError::SourceOutOfRange { .. })
+        ));
+    }
+}

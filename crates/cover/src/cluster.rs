@@ -1,0 +1,201 @@
+//! Clusters and their (Steiner) trees.
+
+use std::collections::BTreeMap;
+
+use congest_graph::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A handle to a cluster within a decomposition, cover, or layered cover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ClusterId(pub u32);
+
+impl ClusterId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// A rooted tree spanning a cluster's members, possibly through *Steiner*
+/// nodes that are not members themselves (Theorem 3.10 of the paper: each
+/// cluster has a Steiner tree whose terminal set is the cluster).
+///
+/// The tree stores, for every node it touches, the node's parent (or `None`
+/// for the root) and its depth.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterTree {
+    /// The root node of the tree.
+    pub root: NodeId,
+    /// `parent[v]` for every tree node `v` (root maps to `None`).
+    pub parent: BTreeMap<NodeId, Option<NodeId>>,
+    /// `depth[v]` for every tree node `v` (root has depth 0).
+    pub depth: BTreeMap<NodeId, u64>,
+}
+
+impl ClusterTree {
+    /// Creates a single-node tree.
+    pub fn singleton(root: NodeId) -> Self {
+        let mut parent = BTreeMap::new();
+        let mut depth = BTreeMap::new();
+        parent.insert(root, None);
+        depth.insert(root, 0);
+        ClusterTree { root, parent, depth }
+    }
+
+    /// The maximum depth of any tree node.
+    pub fn max_depth(&self) -> u64 {
+        self.depth.values().copied().max().unwrap_or(0)
+    }
+
+    /// Number of nodes touched by the tree (members plus Steiner nodes).
+    pub fn node_count(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns `true` if `v` is part of the tree (as member or Steiner node).
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.parent.contains_key(&v)
+    }
+
+    /// The depth of `v` in the tree, if it is a tree node.
+    pub fn depth_of(&self, v: NodeId) -> Option<u64> {
+        self.depth.get(&v).copied()
+    }
+
+    /// Iterates over the undirected edges `(child, parent)` of the tree.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.parent.iter().filter_map(|(&v, &p)| p.map(|p| (v, p)))
+    }
+
+    /// Checks structural sanity: the root has depth 0, every non-root node's
+    /// depth is its parent's depth plus one, and every parent is a tree node.
+    pub fn is_consistent(&self) -> bool {
+        if self.depth.get(&self.root) != Some(&0) {
+            return false;
+        }
+        if self.parent.get(&self.root) != Some(&None) {
+            return false;
+        }
+        for (&v, &p) in &self.parent {
+            match p {
+                None => {
+                    if v != self.root {
+                        return false;
+                    }
+                }
+                Some(p) => {
+                    let (Some(&dv), Some(&dp)) = (self.depth.get(&v), self.depth.get(&p)) else {
+                        return false;
+                    };
+                    if dv != dp + 1 {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+/// A cluster: a set of member nodes plus a rooted Steiner tree spanning them.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cluster {
+    /// The cluster's id within its owning structure.
+    pub id: ClusterId,
+    /// The color class this cluster belongs to (same-color clusters are
+    /// well separated in the decomposition).
+    pub color: u32,
+    /// The node the cluster was grown from.
+    pub center: NodeId,
+    /// The member (terminal) nodes, sorted by id.
+    pub members: Vec<NodeId>,
+    /// The rooted Steiner tree spanning the members.
+    pub tree: ClusterTree,
+}
+
+impl Cluster {
+    /// Number of member nodes.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Returns `true` if the cluster has no members (never produced by the
+    /// constructions in this crate, but part of the API contract).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Returns `true` if `v` is a member (terminal) of this cluster.
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.members.binary_search(&v).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_tree() -> ClusterTree {
+        let mut t = ClusterTree::singleton(NodeId(0));
+        t.parent.insert(NodeId(1), Some(NodeId(0)));
+        t.depth.insert(NodeId(1), 1);
+        t.parent.insert(NodeId(2), Some(NodeId(1)));
+        t.depth.insert(NodeId(2), 2);
+        t
+    }
+
+    #[test]
+    fn singleton_tree_is_consistent() {
+        let t = ClusterTree::singleton(NodeId(5));
+        assert!(t.is_consistent());
+        assert_eq!(t.max_depth(), 0);
+        assert_eq!(t.node_count(), 1);
+        assert!(t.contains(NodeId(5)));
+        assert_eq!(t.depth_of(NodeId(5)), Some(0));
+        assert_eq!(t.edges().count(), 0);
+    }
+
+    #[test]
+    fn chain_tree_depths_and_edges() {
+        let t = small_tree();
+        assert!(t.is_consistent());
+        assert_eq!(t.max_depth(), 2);
+        assert_eq!(t.node_count(), 3);
+        assert_eq!(t.edges().count(), 2);
+        assert_eq!(t.depth_of(NodeId(2)), Some(2));
+        assert!(!t.contains(NodeId(9)));
+    }
+
+    #[test]
+    fn inconsistent_tree_is_detected() {
+        let mut t = small_tree();
+        t.depth.insert(NodeId(2), 5); // wrong depth
+        assert!(!t.is_consistent());
+        let mut t = small_tree();
+        t.parent.insert(NodeId(3), Some(NodeId(9))); // parent not in tree
+        assert!(!t.is_consistent());
+    }
+
+    #[test]
+    fn cluster_membership_queries() {
+        let c = Cluster {
+            id: ClusterId(3),
+            color: 1,
+            center: NodeId(0),
+            members: vec![NodeId(0), NodeId(2), NodeId(4)],
+            tree: ClusterTree::singleton(NodeId(0)),
+        };
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        assert!(c.contains(NodeId(2)));
+        assert!(!c.contains(NodeId(3)));
+        assert_eq!(c.id.to_string(), "C3");
+        assert_eq!(c.id.index(), 3);
+    }
+}

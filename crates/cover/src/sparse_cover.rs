@@ -1,0 +1,411 @@
+//! Sparse neighborhood `d`-covers (Definition 3.2 / Theorem 3.11 of the
+//! paper), built by expanding every cluster of a separated decomposition by
+//! its `d`-neighborhood.
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+use congest_graph::{Graph, NodeId};
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::{Cluster, ClusterId, ClusterTree};
+use crate::decomposition::{multi_source_hops, separated_decomposition};
+
+/// A sparse `d`-cover of a graph (Definition 3.2):
+///
+/// * each cluster has a rooted tree of depth `O(d log n)` spanning it,
+/// * each node is in `O(log n)` clusters (at most one per color),
+/// * for every node `v`, some cluster contains the whole ball `B_d(v)` —
+///   namely the expansion of `v`'s *home* cluster.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SparseCover {
+    /// The cover radius `d`.
+    pub d: u64,
+    /// All clusters of the cover, indexed by [`ClusterId`].
+    pub clusters: Vec<Cluster>,
+    /// `membership[v]` lists the clusters containing node `v`.
+    pub membership: Vec<Vec<ClusterId>>,
+    /// `home[v]` is the cluster guaranteed to contain `B_d(v)`.
+    pub home: Vec<ClusterId>,
+    /// Number of colors of the underlying decomposition.
+    colors: u32,
+}
+
+/// Validation failures of a claimed sparse cover.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoverError {
+    /// Some node's `d`-ball is not contained in its home cluster.
+    BallNotCovered {
+        /// The node whose ball is not covered.
+        node: NodeId,
+        /// A ball node missing from the home cluster.
+        missing: NodeId,
+    },
+    /// A node appears in more than one cluster of the same color.
+    DuplicateColorMembership {
+        /// The offending node.
+        node: NodeId,
+        /// The color with duplicate membership.
+        color: u32,
+    },
+    /// A cluster tree is structurally inconsistent or does not span the
+    /// cluster members.
+    BrokenTree {
+        /// The offending cluster.
+        cluster: ClusterId,
+    },
+    /// The membership index disagrees with the cluster member lists.
+    InconsistentMembership {
+        /// The offending node.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for CoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoverError::BallNotCovered { node, missing } => {
+                write!(f, "the d-ball of {node} is not covered: {missing} is missing from its home cluster")
+            }
+            CoverError::DuplicateColorMembership { node, color } => {
+                write!(f, "node {node} appears in two clusters of color {color}")
+            }
+            CoverError::BrokenTree { cluster } => write!(f, "cluster {cluster} has a broken tree"),
+            CoverError::InconsistentMembership { node } => {
+                write!(f, "membership index of node {node} disagrees with cluster members")
+            }
+        }
+    }
+}
+
+impl Error for CoverError {}
+
+/// Measured quality statistics of a sparse cover (reported by experiment E8).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoverStats {
+    /// The cover radius `d`.
+    pub d: u64,
+    /// Number of clusters.
+    pub cluster_count: usize,
+    /// Number of colors.
+    pub colors: u32,
+    /// Maximum number of clusters any node belongs to.
+    pub max_membership: usize,
+    /// Mean number of clusters per node.
+    pub mean_membership: f64,
+    /// Maximum cluster-tree depth (the realized stretch is `max_depth / d`).
+    pub max_tree_depth: u64,
+    /// Maximum number of cluster trees any single edge participates in.
+    pub max_edge_tree_load: usize,
+}
+
+impl SparseCover {
+    /// Builds a sparse `d`-cover of `g` deterministically: a `(2d+1)`-separated
+    /// decomposition followed by `d`-neighborhood expansion of every cluster
+    /// (the construction of Theorem 3.11).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0` is combined with an empty graph only in degenerate
+    /// ways; `d = 0` itself is allowed (clusters are the decomposition
+    /// clusters themselves).
+    pub fn construct(g: &Graph, d: u64) -> SparseCover {
+        let decomposition = separated_decomposition(g, 2 * d + 1);
+        let n = g.node_count() as usize;
+        let mut clusters = Vec::with_capacity(decomposition.clusters.len());
+        let mut membership: Vec<Vec<ClusterId>> = vec![Vec::new(); n];
+        for c in &decomposition.clusters {
+            let (members, tree) = expand_cluster(g, c, d);
+            let id = c.id;
+            for &v in &members {
+                membership[v.index()].push(id);
+            }
+            clusters.push(Cluster {
+                id,
+                color: c.color,
+                center: c.center,
+                members,
+                tree,
+            });
+        }
+        SparseCover {
+            d,
+            clusters,
+            membership,
+            home: decomposition.home.clone(),
+            colors: decomposition.color_count(),
+        }
+    }
+
+    /// Number of colors of the underlying decomposition (the upper bound on
+    /// any node's membership count).
+    pub fn color_count(&self) -> u32 {
+        self.colors
+    }
+
+    /// The cluster with the given id.
+    pub fn cluster(&self, id: ClusterId) -> &Cluster {
+        &self.clusters[id.index()]
+    }
+
+    /// The cluster guaranteed to contain the `d`-ball of `v`.
+    pub fn home_of(&self, v: NodeId) -> &Cluster {
+        self.cluster(self.home[v.index()])
+    }
+
+    /// The clusters containing `v`.
+    pub fn clusters_of(&self, v: NodeId) -> &[ClusterId] {
+        &self.membership[v.index()]
+    }
+
+    /// The maximum cluster-tree depth.
+    pub fn max_tree_depth(&self) -> u64 {
+        self.clusters.iter().map(|c| c.tree.max_depth()).max().unwrap_or(0)
+    }
+
+    /// Computes quality statistics (used by experiment E8 and the validation
+    /// tests).
+    pub fn stats(&self) -> CoverStats {
+        let n = self.membership.len().max(1);
+        let max_membership = self.membership.iter().map(|m| m.len()).max().unwrap_or(0);
+        let mean_membership =
+            self.membership.iter().map(|m| m.len()).sum::<usize>() as f64 / n as f64;
+        // Edge load: how many cluster trees use each (undirected) edge.
+        let mut edge_load: std::collections::HashMap<(NodeId, NodeId), usize> =
+            std::collections::HashMap::new();
+        for c in &self.clusters {
+            for (child, parent) in c.tree.edges() {
+                let key = if child < parent { (child, parent) } else { (parent, child) };
+                *edge_load.entry(key).or_insert(0) += 1;
+            }
+        }
+        CoverStats {
+            d: self.d,
+            cluster_count: self.clusters.len(),
+            colors: self.colors,
+            max_membership,
+            mean_membership,
+            max_tree_depth: self.max_tree_depth(),
+            max_edge_tree_load: edge_load.values().copied().max().unwrap_or(0),
+        }
+    }
+
+    /// Validates the defining sparse-cover properties against the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated property, or the cover's [`CoverStats`] if
+    /// everything holds.
+    pub fn validate(&self, g: &Graph) -> Result<CoverStats, CoverError> {
+        let n = g.node_count() as usize;
+        // Membership index agrees with cluster member lists.
+        for c in &self.clusters {
+            if !c.tree.is_consistent() {
+                return Err(CoverError::BrokenTree { cluster: c.id });
+            }
+            for &v in &c.members {
+                if !c.tree.contains(v) {
+                    return Err(CoverError::BrokenTree { cluster: c.id });
+                }
+                if !self.membership[v.index()].contains(&c.id) {
+                    return Err(CoverError::InconsistentMembership { node: v });
+                }
+            }
+        }
+        // At most one cluster per color per node.
+        for v in 0..n {
+            let mut colors_seen = std::collections::HashSet::new();
+            for &cid in &self.membership[v] {
+                let color = self.cluster(cid).color;
+                if !colors_seen.insert(color) {
+                    return Err(CoverError::DuplicateColorMembership {
+                        node: NodeId(v as u32),
+                        color,
+                    });
+                }
+            }
+        }
+        // d-ball coverage by the home cluster.
+        for v in g.nodes() {
+            let home = self.home_of(v);
+            let dist = multi_source_hops(g, &[v]);
+            for u in g.nodes() {
+                if dist[u.index()].map_or(false, |x| x <= self.d) && !home.contains(u) {
+                    return Err(CoverError::BallNotCovered { node: v, missing: u });
+                }
+            }
+        }
+        Ok(self.stats())
+    }
+}
+
+/// Expands a decomposition cluster by its `d`-neighborhood and extends its
+/// Steiner tree along the expansion BFS.
+fn expand_cluster(g: &Graph, c: &Cluster, d: u64) -> (Vec<NodeId>, ClusterTree) {
+    let n = g.node_count() as usize;
+    // Multi-source BFS from the cluster members.
+    let mut dist = vec![None; n];
+    let mut parent = vec![None; n];
+    let mut q = VecDeque::new();
+    for &s in &c.members {
+        dist[s.index()] = Some(0u64);
+        q.push_back(s);
+    }
+    while let Some(v) = q.pop_front() {
+        let dv = dist[v.index()].expect("queued nodes have distances");
+        if dv >= d {
+            continue;
+        }
+        for adj in g.neighbors(v) {
+            if dist[adj.neighbor.index()].is_none() {
+                dist[adj.neighbor.index()] = Some(dv + 1);
+                parent[adj.neighbor.index()] = Some(v);
+                q.push_back(adj.neighbor);
+            }
+        }
+    }
+    let members: Vec<NodeId> = (0..n)
+        .filter(|&v| dist[v].map_or(false, |x| x <= d))
+        .map(|v| NodeId(v as u32))
+        .collect();
+    // Extend the tree: new nodes hang below the member they were discovered
+    // from (depths continue below that member's tree depth).
+    let mut tree = c.tree.clone();
+    for &v in &members {
+        if tree.contains(v) {
+            continue;
+        }
+        // Walk back to the first node already in the tree, then attach.
+        let mut chain = Vec::new();
+        let mut cur = v;
+        while !tree.contains(cur) {
+            chain.push(cur);
+            cur = parent[cur.index()].expect("expansion nodes have parents toward the cluster");
+        }
+        for &node in chain.iter().rev() {
+            let p = parent[node.index()].expect("non-root expansion nodes have parents");
+            let pd = tree.depth_of(p).expect("parent inserted before child");
+            tree.parent.insert(node, Some(p));
+            tree.depth.insert(node, pd + 1);
+        }
+    }
+    (members, tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators;
+
+    fn check(g: &Graph, d: u64) -> CoverStats {
+        let cover = SparseCover::construct(g, d);
+        let stats = cover.validate(g).expect("constructed covers are valid");
+        assert!(stats.max_membership as u32 <= cover.color_count());
+        stats
+    }
+
+    #[test]
+    fn cover_of_path() {
+        let g = generators::path(30, 1);
+        for d in [1, 2, 4] {
+            check(&g, d);
+        }
+    }
+
+    #[test]
+    fn cover_of_grid() {
+        let g = generators::grid(7, 7, 1);
+        let stats = check(&g, 2);
+        assert!(stats.cluster_count >= 1);
+        assert!(stats.max_tree_depth >= 2);
+    }
+
+    #[test]
+    fn cover_of_random_graphs() {
+        for seed in 0..3 {
+            let g = generators::random_connected(50, 70, seed);
+            check(&g, 2);
+        }
+    }
+
+    #[test]
+    fn cover_of_disconnected_graph() {
+        let g = generators::disjoint_copies(&generators::path(8, 1), 3);
+        check(&g, 2);
+    }
+
+    #[test]
+    fn cover_with_d_zero_is_the_decomposition() {
+        let g = generators::cycle(12, 1);
+        let cover = SparseCover::construct(&g, 0);
+        cover.validate(&g).unwrap();
+        // With d = 0, clusters partition the nodes (each node in exactly one).
+        assert!(cover.membership.iter().all(|m| m.len() == 1));
+    }
+
+    #[test]
+    fn cover_radius_larger_than_diameter_gives_single_cluster_membership() {
+        let g = generators::cycle(10, 1);
+        let cover = SparseCover::construct(&g, 20);
+        cover.validate(&g).unwrap();
+        // Every cluster expands to the whole cycle; home cluster covers all.
+        assert!(cover.home_of(NodeId(0)).len() == 10);
+    }
+
+    #[test]
+    fn home_cluster_contains_ball() {
+        let g = generators::grid(6, 6, 1);
+        let cover = SparseCover::construct(&g, 3);
+        for v in g.nodes() {
+            let home = cover.home_of(v);
+            let dist = multi_source_hops(&g, &[v]);
+            for u in g.nodes() {
+                if dist[u.index()].map_or(false, |x| x <= 3) {
+                    assert!(home.contains(u));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_are_plausible() {
+        let g = generators::random_connected(60, 120, 5);
+        let cover = SparseCover::construct(&g, 2);
+        let stats = cover.stats();
+        assert_eq!(stats.d, 2);
+        assert_eq!(stats.cluster_count, cover.clusters.len());
+        assert!(stats.mean_membership >= 1.0);
+        assert!(stats.max_membership >= 1);
+        assert!(stats.max_edge_tree_load >= 1);
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        let g = generators::random_connected(40, 60, 2);
+        assert_eq!(SparseCover::construct(&g, 3), SparseCover::construct(&g, 3));
+    }
+
+    #[test]
+    fn validation_detects_corruption() {
+        let g = generators::path(12, 1);
+        let mut cover = SparseCover::construct(&g, 2);
+        // Corrupt: drop a member from some node's home cluster.
+        let home = cover.home[0].index();
+        cover.clusters[home].members.retain(|&v| v != NodeId(1));
+        assert!(cover.validate(&g).is_err());
+    }
+
+    #[test]
+    fn cover_error_display() {
+        let e = CoverError::BallNotCovered { node: NodeId(1), missing: NodeId(2) };
+        assert!(e.to_string().contains("v1"));
+        let e = CoverError::DuplicateColorMembership { node: NodeId(1), color: 3 };
+        assert!(e.to_string().contains("color 3"));
+        let e = CoverError::BrokenTree { cluster: ClusterId(5) };
+        assert!(e.to_string().contains("C5"));
+        let e = CoverError::InconsistentMembership { node: NodeId(7) };
+        assert!(e.to_string().contains("v7"));
+    }
+}

@@ -1,0 +1,213 @@
+//! The [`Distance`] type: a finite weighted distance or infinity.
+
+use std::fmt;
+use std::ops::Add;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Weight;
+
+/// A shortest-path distance: either a finite non-negative integer or infinity.
+///
+/// Infinity compares greater than every finite value, and addition saturates
+/// at infinity, so `Distance` can be used directly in relaxation loops:
+///
+/// ```
+/// use congest_graph::Distance;
+///
+/// let d = Distance::from(3) + 4;
+/// assert_eq!(d, Distance::Finite(7));
+/// assert!(d < Distance::Infinite);
+/// assert_eq!(Distance::Infinite + 10, Distance::Infinite);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Distance {
+    /// A finite distance value.
+    Finite(Weight),
+    /// Unreachable / not yet reached.
+    Infinite,
+}
+
+impl Distance {
+    /// The zero distance.
+    pub const ZERO: Distance = Distance::Finite(0);
+
+    /// Returns the finite value, or `None` if this is [`Distance::Infinite`].
+    ///
+    /// ```
+    /// use congest_graph::Distance;
+    /// assert_eq!(Distance::Finite(5).finite(), Some(5));
+    /// assert_eq!(Distance::Infinite.finite(), None);
+    /// ```
+    pub fn finite(self) -> Option<Weight> {
+        match self {
+            Distance::Finite(d) => Some(d),
+            Distance::Infinite => None,
+        }
+    }
+
+    /// Returns `true` if the distance is finite.
+    pub fn is_finite(self) -> bool {
+        matches!(self, Distance::Finite(_))
+    }
+
+    /// Returns `true` if the distance is infinite.
+    pub fn is_infinite(self) -> bool {
+        matches!(self, Distance::Infinite)
+    }
+
+    /// Returns the finite value, panicking on infinity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distance is [`Distance::Infinite`].
+    pub fn expect_finite(self) -> Weight {
+        match self {
+            Distance::Finite(d) => d,
+            Distance::Infinite => panic!("expected a finite distance, found infinity"),
+        }
+    }
+
+    /// Saturating addition of a finite weight.
+    pub fn saturating_add(self, w: Weight) -> Distance {
+        match self {
+            Distance::Finite(d) => Distance::Finite(d.saturating_add(w)),
+            Distance::Infinite => Distance::Infinite,
+        }
+    }
+
+    /// The minimum of two distances.
+    pub fn min(self, other: Distance) -> Distance {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The maximum of two distances.
+    pub fn max(self, other: Distance) -> Distance {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Default for Distance {
+    fn default() -> Self {
+        Distance::Infinite
+    }
+}
+
+impl From<Weight> for Distance {
+    fn from(w: Weight) -> Self {
+        Distance::Finite(w)
+    }
+}
+
+impl PartialOrd for Distance {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Distance {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        use Distance::*;
+        match (self, other) {
+            (Finite(a), Finite(b)) => a.cmp(b),
+            (Finite(_), Infinite) => std::cmp::Ordering::Less,
+            (Infinite, Finite(_)) => std::cmp::Ordering::Greater,
+            (Infinite, Infinite) => std::cmp::Ordering::Equal,
+        }
+    }
+}
+
+impl Add<Weight> for Distance {
+    type Output = Distance;
+
+    fn add(self, rhs: Weight) -> Distance {
+        self.saturating_add(rhs)
+    }
+}
+
+impl Add<Distance> for Distance {
+    type Output = Distance;
+
+    fn add(self, rhs: Distance) -> Distance {
+        match (self, rhs) {
+            (Distance::Finite(a), Distance::Finite(b)) => Distance::Finite(a.saturating_add(b)),
+            _ => Distance::Infinite,
+        }
+    }
+}
+
+impl fmt::Display for Distance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Distance::Finite(d) => write!(f, "{d}"),
+            Distance::Infinite => write!(f, "inf"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_puts_infinity_last() {
+        assert!(Distance::Finite(0) < Distance::Finite(1));
+        assert!(Distance::Finite(u64::MAX) < Distance::Infinite);
+        assert_eq!(Distance::Infinite, Distance::Infinite);
+    }
+
+    #[test]
+    fn addition_saturates() {
+        assert_eq!(Distance::Finite(2) + 3, Distance::Finite(5));
+        assert_eq!(Distance::Infinite + 3, Distance::Infinite);
+        assert_eq!(
+            Distance::Finite(u64::MAX) + 1,
+            Distance::Finite(u64::MAX),
+            "finite addition saturates instead of overflowing"
+        );
+        assert_eq!(
+            Distance::Finite(1) + Distance::Infinite,
+            Distance::Infinite
+        );
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(Distance::Finite(3).min(Distance::Infinite), Distance::Finite(3));
+        assert_eq!(Distance::Finite(3).max(Distance::Infinite), Distance::Infinite);
+        assert_eq!(Distance::Finite(3).min(Distance::Finite(2)), Distance::Finite(2));
+    }
+
+    #[test]
+    fn finite_accessors() {
+        assert_eq!(Distance::from(7).finite(), Some(7));
+        assert!(Distance::from(7).is_finite());
+        assert!(Distance::Infinite.is_infinite());
+        assert_eq!(Distance::from(7).expect_finite(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected a finite distance")]
+    fn expect_finite_panics_on_infinity() {
+        let _ = Distance::Infinite.expect_finite();
+    }
+
+    #[test]
+    fn default_is_infinite() {
+        assert_eq!(Distance::default(), Distance::Infinite);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Distance::Finite(12).to_string(), "12");
+        assert_eq!(Distance::Infinite.to_string(), "inf");
+    }
+}

@@ -1,0 +1,73 @@
+//! Error types for graph construction and queries.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or querying a [`crate::Graph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An endpoint referred to a node index that does not exist.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: u32,
+        /// The number of nodes in the graph.
+        node_count: u32,
+    },
+    /// A self-loop edge `(v, v)` was supplied; the CONGEST model in the paper
+    /// assumes a simple network graph, so self-loops are rejected.
+    SelfLoop {
+        /// The node at both endpoints.
+        node: u32,
+    },
+    /// An edge weight was outside the supported range.
+    WeightOutOfRange {
+        /// The offending weight.
+        weight: u64,
+        /// The maximum allowed weight.
+        max: u64,
+    },
+    /// A source set was empty where at least one source is required.
+    EmptySourceSet,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node {node} is out of range for a graph with {node_count} nodes")
+            }
+            GraphError::SelfLoop { node } => {
+                write!(f, "self-loop at node {node} is not allowed")
+            }
+            GraphError::WeightOutOfRange { weight, max } => {
+                write!(f, "edge weight {weight} exceeds the maximum supported weight {max}")
+            }
+            GraphError::EmptySourceSet => write!(f, "the source set must be non-empty"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = GraphError::NodeOutOfRange { node: 9, node_count: 4 };
+        assert!(e.to_string().contains("node 9"));
+        let e = GraphError::SelfLoop { node: 3 };
+        assert!(e.to_string().contains("self-loop"));
+        let e = GraphError::WeightOutOfRange { weight: 10, max: 5 };
+        assert!(e.to_string().contains("10"));
+        assert!(GraphError::EmptySourceSet.to_string().contains("non-empty"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

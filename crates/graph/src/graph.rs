@@ -1,0 +1,418 @@
+//! The [`Graph`] type: an undirected, weighted multigraph.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::GraphError;
+
+/// Edge weights are non-negative integers, as in the paper (`w(e) ∈ [0, poly(n)]`).
+pub type Weight = u64;
+
+/// A handle to a node of a [`Graph`]. Node ids are dense: `0..n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// A handle to an undirected edge of a [`Graph`]. Edge ids are dense: `0..m`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// The edge id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// An undirected edge `{u, v}` with weight `w`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Edge {
+    /// One endpoint.
+    pub u: NodeId,
+    /// The other endpoint.
+    pub v: NodeId,
+    /// Non-negative integer weight.
+    pub w: Weight,
+}
+
+impl Edge {
+    /// Given one endpoint, returns the other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not an endpoint of this edge.
+    pub fn other(&self, x: NodeId) -> NodeId {
+        if x == self.u {
+            self.v
+        } else if x == self.v {
+            self.u
+        } else {
+            panic!("{x} is not an endpoint of edge {{{}, {}}}", self.u, self.v)
+        }
+    }
+}
+
+/// One entry of a node's adjacency list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Adjacency {
+    /// The neighbouring node.
+    pub neighbor: NodeId,
+    /// The id of the connecting edge.
+    pub edge: EdgeId,
+    /// The weight of the connecting edge.
+    pub weight: Weight,
+}
+
+/// An undirected, weighted multigraph with `n` nodes (ids `0..n`) and `m`
+/// edges (ids `0..m`).
+///
+/// Parallel edges are allowed (they occur naturally when contracting graphs);
+/// self-loops are rejected. The maximum supported weight is
+/// [`Graph::MAX_WEIGHT`], mirroring the paper's `poly(n)` weight assumption.
+///
+/// ```
+/// use congest_graph::{Graph, NodeId};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = Graph::builder(3);
+/// b.add_edge(0, 1, 5)?;
+/// b.add_edge(1, 2, 7)?;
+/// let g = b.build();
+/// assert_eq!(g.node_count(), 3);
+/// assert_eq!(g.edge_count(), 2);
+/// assert_eq!(g.degree(NodeId(1)), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    node_count: u32,
+    edges: Vec<Edge>,
+    adjacency: Vec<Vec<Adjacency>>,
+    max_weight: Weight,
+}
+
+impl Graph {
+    /// The largest supported edge weight (`2^40`), comfortably `poly(n)` for
+    /// any graph size this workspace simulates.
+    pub const MAX_WEIGHT: Weight = 1 << 40;
+
+    /// Creates an empty graph (no edges) on `n` nodes.
+    pub fn empty(n: u32) -> Graph {
+        Graph {
+            node_count: n,
+            edges: Vec::new(),
+            adjacency: vec![Vec::new(); n as usize],
+            max_weight: 0,
+        }
+    }
+
+    /// Starts building a graph with `n` nodes.
+    pub fn builder(n: u32) -> GraphBuilder {
+        GraphBuilder { graph: Graph::empty(n) }
+    }
+
+    /// Builds a graph on `n` nodes from `(u, v, w)` edge triples.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an endpoint is out of range, an edge is a
+    /// self-loop, or a weight exceeds [`Graph::MAX_WEIGHT`].
+    pub fn from_edges(
+        n: u32,
+        edges: impl IntoIterator<Item = (u32, u32, Weight)>,
+    ) -> Result<Graph, GraphError> {
+        let mut b = Graph::builder(n);
+        for (u, v, w) in edges {
+            b.add_edge(u, v, w)?;
+        }
+        Ok(b.build())
+    }
+
+    /// Number of nodes `n`.
+    pub fn node_count(&self) -> u32 {
+        self.node_count
+    }
+
+    /// Number of edges `m`.
+    pub fn edge_count(&self) -> u32 {
+        self.edges.len() as u32
+    }
+
+    /// Iterator over all node ids `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count).map(NodeId)
+    }
+
+    /// Iterator over all edge ids `0..m`.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// All edges, indexed by [`EdgeId`].
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The edge with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn edge(&self, e: EdgeId) -> Edge {
+        self.edges[e.index()]
+    }
+
+    /// The adjacency list of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: NodeId) -> &[Adjacency] {
+        &self.adjacency[v.index()]
+    }
+
+    /// The degree (number of incident edges) of `v`.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adjacency[v.index()].len()
+    }
+
+    /// The largest edge weight, or 0 for an edgeless graph.
+    pub fn max_weight(&self) -> Weight {
+        self.max_weight
+    }
+
+    /// Returns `true` if `v` is a valid node id of this graph.
+    pub fn contains_node(&self, v: NodeId) -> bool {
+        v.0 < self.node_count
+    }
+
+    /// Returns `true` if some edge directly connects `u` and `v`.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.adjacency[u.index()].iter().any(|a| a.neighbor == v)
+    }
+
+    /// The minimum weight among edges directly connecting `u` and `v`, if any.
+    pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<Weight> {
+        self.adjacency[u.index()]
+            .iter()
+            .filter(|a| a.neighbor == v)
+            .map(|a| a.weight)
+            .min()
+    }
+
+    /// An upper bound `n * max_weight` on any finite shortest-path distance,
+    /// used as the initial threshold `D` of the recursion in the paper
+    /// (Section 2.2: "Let D = n · max w_e").
+    pub fn distance_upper_bound(&self) -> Weight {
+        (self.node_count as Weight).saturating_mul(self.max_weight.max(1))
+    }
+
+    /// Builds the subgraph induced by `keep`, returning the new graph and, for
+    /// each new node id, the original node id it corresponds to.
+    ///
+    /// Nodes are renumbered densely in increasing order of their original id;
+    /// edges keep their weights. Edges with an endpoint outside `keep` are
+    /// dropped.
+    pub fn induced_subgraph(&self, keep: &BTreeSet<NodeId>) -> (Graph, Vec<NodeId>) {
+        let mut old_to_new = vec![u32::MAX; self.node_count as usize];
+        let mut new_to_old = Vec::with_capacity(keep.len());
+        for (new_idx, &old) in keep.iter().enumerate() {
+            assert!(self.contains_node(old), "node {old} not in graph");
+            old_to_new[old.index()] = new_idx as u32;
+            new_to_old.push(old);
+        }
+        let mut builder = Graph::builder(keep.len() as u32);
+        for e in &self.edges {
+            let (nu, nv) = (old_to_new[e.u.index()], old_to_new[e.v.index()]);
+            if nu != u32::MAX && nv != u32::MAX {
+                builder
+                    .add_edge(nu, nv, e.w)
+                    .expect("re-adding an existing valid edge cannot fail");
+            }
+        }
+        (builder.build(), new_to_old)
+    }
+
+    /// Total size of the graph representation, `n + m`, a convenient proxy for
+    /// work bounds in tests.
+    pub fn size(&self) -> usize {
+        self.node_count as usize + self.edges.len()
+    }
+}
+
+/// Incremental builder for [`Graph`] (see [`Graph::builder`]).
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    graph: Graph,
+}
+
+impl GraphBuilder {
+    /// Adds an undirected edge `{u, v}` with weight `w`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an endpoint is out of range, `u == v`, or the
+    /// weight exceeds [`Graph::MAX_WEIGHT`].
+    pub fn add_edge(&mut self, u: u32, v: u32, w: Weight) -> Result<EdgeId, GraphError> {
+        let n = self.graph.node_count;
+        if u >= n {
+            return Err(GraphError::NodeOutOfRange { node: u, node_count: n });
+        }
+        if v >= n {
+            return Err(GraphError::NodeOutOfRange { node: v, node_count: n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        if w > Graph::MAX_WEIGHT {
+            return Err(GraphError::WeightOutOfRange { weight: w, max: Graph::MAX_WEIGHT });
+        }
+        let id = EdgeId(self.graph.edges.len() as u32);
+        let (u, v) = (NodeId(u), NodeId(v));
+        self.graph.edges.push(Edge { u, v, w });
+        self.graph.adjacency[u.index()].push(Adjacency { neighbor: v, edge: id, weight: w });
+        self.graph.adjacency[v.index()].push(Adjacency { neighbor: u, edge: id, weight: w });
+        self.graph.max_weight = self.graph.max_weight.max(w);
+        Ok(id)
+    }
+
+    /// Finishes building and returns the graph.
+    pub fn build(self) -> Graph {
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(3, [(0, 1, 1), (1, 2, 2), (0, 2, 10)]).unwrap()
+    }
+
+    #[test]
+    fn basic_counts_and_degrees() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert_eq!(g.max_weight(), 10);
+        assert_eq!(g.distance_upper_bound(), 30);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let g = triangle();
+        for e in g.edges() {
+            assert!(g.neighbors(e.u).iter().any(|a| a.neighbor == e.v && a.weight == e.w));
+            assert!(g.neighbors(e.v).iter().any(|a| a.neighbor == e.u && a.weight == e.w));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_edges() {
+        let mut b = Graph::builder(2);
+        assert!(matches!(
+            b.add_edge(0, 5, 1),
+            Err(GraphError::NodeOutOfRange { node: 5, node_count: 2 })
+        ));
+        assert!(matches!(b.add_edge(1, 1, 1), Err(GraphError::SelfLoop { node: 1 })));
+        assert!(matches!(
+            b.add_edge(0, 1, Graph::MAX_WEIGHT + 1),
+            Err(GraphError::WeightOutOfRange { .. })
+        ));
+        // The builder remains usable after errors.
+        b.add_edge(0, 1, 3).unwrap();
+        assert_eq!(b.build().edge_count(), 1);
+    }
+
+    #[test]
+    fn parallel_edges_are_allowed_and_edge_weight_takes_min() {
+        let g = Graph::from_edges(2, [(0, 1, 5), (0, 1, 3)]).unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.edge_weight(NodeId(0), NodeId(1)), Some(3));
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn zero_weight_edges_are_allowed() {
+        let g = Graph::from_edges(2, [(0, 1, 0)]).unwrap();
+        assert_eq!(g.edge_weight(NodeId(0), NodeId(1)), Some(0));
+        assert_eq!(g.max_weight(), 0);
+        // The distance upper bound is still positive.
+        assert!(g.distance_upper_bound() >= 1);
+    }
+
+    #[test]
+    fn edge_other_endpoint() {
+        let e = Edge { u: NodeId(3), v: NodeId(7), w: 1 };
+        assert_eq!(e.other(NodeId(3)), NodeId(7));
+        assert_eq!(e.other(NodeId(7)), NodeId(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn edge_other_panics_for_non_endpoint() {
+        let e = Edge { u: NodeId(3), v: NodeId(7), w: 1 };
+        let _ = e.other(NodeId(0));
+    }
+
+    #[test]
+    fn induced_subgraph_renumbers_and_keeps_internal_edges() {
+        let g = Graph::from_edges(5, [(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 4, 4), (0, 4, 5)])
+            .unwrap();
+        let keep: BTreeSet<NodeId> = [NodeId(1), NodeId(2), NodeId(3)].into_iter().collect();
+        let (sub, map) = g.induced_subgraph(&keep);
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(sub.edge_count(), 2); // edges (1,2) and (2,3)
+        assert_eq!(map, vec![NodeId(1), NodeId(2), NodeId(3)]);
+        assert!(sub.has_edge(NodeId(0), NodeId(1)));
+        assert!(sub.has_edge(NodeId(1), NodeId(2)));
+        assert!(!sub.has_edge(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(4);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_weight(), 0);
+        assert_eq!(g.nodes().count(), 4);
+        assert_eq!(g.edge_ids().count(), 0);
+    }
+
+    #[test]
+    fn display_of_ids() {
+        assert_eq!(NodeId(4).to_string(), "v4");
+        assert_eq!(EdgeId(2).to_string(), "e2");
+    }
+}

@@ -1,0 +1,422 @@
+//! Sequential reference algorithms used as ground truth for the distributed
+//! implementations: Dijkstra, Bellman–Ford, BFS, connected components, and
+//! spanning forests.
+//!
+//! Everything in this module is *centralized* — it sees the whole graph at
+//! once — and exists so that tests can check the distributed algorithms
+//! against an independent implementation.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::{Distance, EdgeId, Graph, NodeId, Weight};
+
+/// The result of a single-source / closest-source shortest-path computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShortestPaths {
+    /// `distances[v]` is the distance from the closest source to node `v`.
+    pub distances: Vec<Distance>,
+    /// `parents[v]` is the predecessor of `v` on a shortest path from the
+    /// closest source (or `None` for sources and unreachable nodes).
+    pub parents: Vec<Option<NodeId>>,
+}
+
+impl ShortestPaths {
+    /// The distance to node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn distance(&self, v: NodeId) -> Distance {
+        self.distances[v.index()]
+    }
+
+    /// Reconstructs a shortest path from a source to `v` by following parent
+    /// pointers, returning `None` if `v` is unreachable.
+    pub fn path_to(&self, v: NodeId) -> Option<Vec<NodeId>> {
+        if self.distances[v.index()].is_infinite() {
+            return None;
+        }
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.parents[cur.index()] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Number of nodes with a finite distance.
+    pub fn reached_count(&self) -> usize {
+        self.distances.iter().filter(|d| d.is_finite()).count()
+    }
+}
+
+/// Closest-source shortest paths by Dijkstra's algorithm with a binary heap.
+///
+/// Works for any non-negative integer weights (including zero). With a single
+/// source this is ordinary SSSP; with several sources it computes
+/// `dist(S, v) = min_{s in S} dist(s, v)` — the CSSP problem of the paper.
+///
+/// # Panics
+///
+/// Panics if any source id is out of range.
+pub fn dijkstra(g: &Graph, sources: &[NodeId]) -> ShortestPaths {
+    let n = g.node_count() as usize;
+    let mut dist = vec![Distance::Infinite; n];
+    let mut parent = vec![None; n];
+    let mut heap: BinaryHeap<Reverse<(Weight, u32)>> = BinaryHeap::new();
+    for &s in sources {
+        assert!(g.contains_node(s), "source {s} out of range");
+        dist[s.index()] = Distance::ZERO;
+        heap.push(Reverse((0, s.0)));
+    }
+    while let Some(Reverse((d, v))) = heap.pop() {
+        let v = NodeId(v);
+        if Distance::Finite(d) > dist[v.index()] {
+            continue;
+        }
+        for adj in g.neighbors(v) {
+            let nd = d.saturating_add(adj.weight);
+            if Distance::Finite(nd) < dist[adj.neighbor.index()] {
+                dist[adj.neighbor.index()] = Distance::Finite(nd);
+                parent[adj.neighbor.index()] = Some(v);
+                heap.push(Reverse((nd, adj.neighbor.0)));
+            }
+        }
+    }
+    ShortestPaths { distances: dist, parents: parent }
+}
+
+/// Closest-source shortest paths by Bellman–Ford (`n - 1` relaxation sweeps).
+///
+/// Provided as an *independent* reference implementation so tests can
+/// cross-check Dijkstra; also mirrors the distributed Bellman–Ford baseline.
+///
+/// # Panics
+///
+/// Panics if any source id is out of range.
+pub fn bellman_ford(g: &Graph, sources: &[NodeId]) -> ShortestPaths {
+    let n = g.node_count() as usize;
+    let mut dist = vec![Distance::Infinite; n];
+    let mut parent = vec![None; n];
+    for &s in sources {
+        assert!(g.contains_node(s), "source {s} out of range");
+        dist[s.index()] = Distance::ZERO;
+    }
+    for _ in 0..n.saturating_sub(1).max(1) {
+        let mut changed = false;
+        for e in g.edges() {
+            let du = dist[e.u.index()];
+            let dv = dist[e.v.index()];
+            if du.saturating_add(e.w) < dv {
+                dist[e.v.index()] = du.saturating_add(e.w);
+                parent[e.v.index()] = Some(e.u);
+                changed = true;
+            }
+            let du = dist[e.u.index()];
+            let dv = dist[e.v.index()];
+            if dv.saturating_add(e.w) < du {
+                dist[e.u.index()] = dv.saturating_add(e.w);
+                parent[e.u.index()] = Some(e.v);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    ShortestPaths { distances: dist, parents: parent }
+}
+
+/// Multi-source BFS: hop distances, ignoring edge weights.
+///
+/// # Panics
+///
+/// Panics if any source id is out of range.
+pub fn bfs(g: &Graph, sources: &[NodeId]) -> ShortestPaths {
+    let n = g.node_count() as usize;
+    let mut dist = vec![Distance::Infinite; n];
+    let mut parent = vec![None; n];
+    let mut queue = std::collections::VecDeque::new();
+    for &s in sources {
+        assert!(g.contains_node(s), "source {s} out of range");
+        if dist[s.index()].is_infinite() {
+            dist[s.index()] = Distance::ZERO;
+            queue.push_back(s);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v.index()].expect_finite();
+        for adj in g.neighbors(v) {
+            if dist[adj.neighbor.index()].is_infinite() {
+                dist[adj.neighbor.index()] = Distance::Finite(dv + 1);
+                parent[adj.neighbor.index()] = Some(v);
+                queue.push_back(adj.neighbor);
+            }
+        }
+    }
+    ShortestPaths { distances: dist, parents: parent }
+}
+
+/// All-pairs shortest paths: `result[u][v]` is `dist(u, v)`. Runs one Dijkstra
+/// per node, so it is the reference for the distributed APSP experiments.
+pub fn all_pairs(g: &Graph) -> Vec<Vec<Distance>> {
+    g.nodes().map(|s| dijkstra(g, &[s]).distances).collect()
+}
+
+/// The result of a connected-components computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Components {
+    /// `label[v]` is the component index of node `v`, in `0..component_count`.
+    pub labels: Vec<usize>,
+    /// Number of connected components.
+    pub component_count: usize,
+}
+
+impl Components {
+    /// Returns the nodes of component `c`.
+    pub fn members(&self, c: usize) -> Vec<NodeId> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l == c)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+
+    /// Returns `true` if `u` and `v` are in the same component.
+    pub fn same_component(&self, u: NodeId, v: NodeId) -> bool {
+        self.labels[u.index()] == self.labels[v.index()]
+    }
+}
+
+/// Connected components by repeated BFS.
+pub fn connected_components(g: &Graph) -> Components {
+    let n = g.node_count() as usize;
+    let mut labels = vec![usize::MAX; n];
+    let mut count = 0;
+    for start in g.nodes() {
+        if labels[start.index()] != usize::MAX {
+            continue;
+        }
+        let mut queue = std::collections::VecDeque::from([start]);
+        labels[start.index()] = count;
+        while let Some(v) = queue.pop_front() {
+            for adj in g.neighbors(v) {
+                if labels[adj.neighbor.index()] == usize::MAX {
+                    labels[adj.neighbor.index()] = count;
+                    queue.push_back(adj.neighbor);
+                }
+            }
+        }
+        count += 1;
+    }
+    Components { labels, component_count: count }
+}
+
+/// A maximal spanning forest: one spanning tree per connected component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanningForest {
+    /// The edges included in the forest.
+    pub edges: Vec<EdgeId>,
+    /// `parent[v]` is `v`'s parent in its rooted tree, or `None` for roots.
+    pub parents: Vec<Option<NodeId>>,
+    /// `root[v]` is the root node of `v`'s tree.
+    pub roots: Vec<NodeId>,
+    /// `depth[v]` is the depth of `v` in its rooted tree (roots have depth 0).
+    pub depths: Vec<u32>,
+}
+
+impl SpanningForest {
+    /// The maximum tree depth over all nodes.
+    pub fn max_depth(&self) -> u32 {
+        self.depths.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The children of `v` in the rooted forest.
+    pub fn children(&self, v: NodeId) -> Vec<NodeId> {
+        self.parents
+            .iter()
+            .enumerate()
+            .filter(|&(_, p)| *p == Some(v))
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+}
+
+/// Computes a maximal spanning forest (BFS trees, one per component), rooted
+/// at the smallest node id of each component.
+pub fn spanning_forest(g: &Graph) -> SpanningForest {
+    let n = g.node_count() as usize;
+    let mut parents = vec![None; n];
+    let mut roots = vec![NodeId(0); n];
+    let mut depths = vec![0u32; n];
+    let mut visited = vec![false; n];
+    let mut edges = Vec::new();
+    for start in g.nodes() {
+        if visited[start.index()] {
+            continue;
+        }
+        visited[start.index()] = true;
+        roots[start.index()] = start;
+        let mut queue = std::collections::VecDeque::from([start]);
+        while let Some(v) = queue.pop_front() {
+            for adj in g.neighbors(v) {
+                if !visited[adj.neighbor.index()] {
+                    visited[adj.neighbor.index()] = true;
+                    parents[adj.neighbor.index()] = Some(v);
+                    roots[adj.neighbor.index()] = start;
+                    depths[adj.neighbor.index()] = depths[v.index()] + 1;
+                    edges.push(adj.edge);
+                    queue.push_back(adj.neighbor);
+                }
+            }
+        }
+    }
+    SpanningForest { edges, parents, roots, depths }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn dijkstra_on_weighted_triangle() {
+        let g = Graph::from_edges(3, [(0, 1, 1), (1, 2, 2), (0, 2, 10)]).unwrap();
+        let sp = dijkstra(&g, &[NodeId(0)]);
+        assert_eq!(sp.distance(NodeId(0)), Distance::ZERO);
+        assert_eq!(sp.distance(NodeId(1)).finite(), Some(1));
+        assert_eq!(sp.distance(NodeId(2)).finite(), Some(3), "goes via node 1, not the heavy edge");
+        assert_eq!(sp.path_to(NodeId(2)), Some(vec![NodeId(0), NodeId(1), NodeId(2)]));
+    }
+
+    #[test]
+    fn dijkstra_handles_zero_weights() {
+        let g = Graph::from_edges(4, [(0, 1, 0), (1, 2, 0), (2, 3, 5)]).unwrap();
+        let sp = dijkstra(&g, &[NodeId(0)]);
+        assert_eq!(sp.distance(NodeId(2)).finite(), Some(0));
+        assert_eq!(sp.distance(NodeId(3)).finite(), Some(5));
+    }
+
+    #[test]
+    fn dijkstra_multi_source_is_min_over_sources() {
+        let g = generators::path(10, 3);
+        let sp = dijkstra(&g, &[NodeId(0), NodeId(9)]);
+        assert_eq!(sp.distance(NodeId(4)).finite(), Some(12)); // 4 hops from 0
+        assert_eq!(sp.distance(NodeId(6)).finite(), Some(9)); // 3 hops from 9
+    }
+
+    #[test]
+    fn dijkstra_disconnected_nodes_are_infinite() {
+        let g = generators::disjoint_copies(&generators::path(3, 1), 2);
+        let sp = dijkstra(&g, &[NodeId(0)]);
+        assert!(sp.distance(NodeId(5)).is_infinite());
+        assert_eq!(sp.path_to(NodeId(5)), None);
+        assert_eq!(sp.reached_count(), 3);
+    }
+
+    #[test]
+    fn bellman_ford_matches_dijkstra_on_random_graphs() {
+        for seed in 0..6 {
+            let g = generators::with_random_weights(&generators::random_connected(40, 60, seed), 50, seed);
+            let a = dijkstra(&g, &[NodeId(0)]);
+            let b = bellman_ford(&g, &[NodeId(0)]);
+            assert_eq!(a.distances, b.distances, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn bellman_ford_multi_source_matches_dijkstra() {
+        let g = generators::with_random_weights(&generators::grid(6, 6, 1), 9, 2);
+        let sources = [NodeId(0), NodeId(20), NodeId(35)];
+        assert_eq!(dijkstra(&g, &sources).distances, bellman_ford(&g, &sources).distances);
+    }
+
+    #[test]
+    fn bfs_counts_hops_not_weights() {
+        let g = Graph::from_edges(3, [(0, 1, 100), (1, 2, 100)]).unwrap();
+        let sp = bfs(&g, &[NodeId(0)]);
+        assert_eq!(sp.distance(NodeId(2)).finite(), Some(2));
+    }
+
+    #[test]
+    fn bfs_on_unit_weights_equals_dijkstra() {
+        let g = generators::erdos_renyi_gnp(40, 0.15, 5);
+        assert_eq!(bfs(&g, &[NodeId(0)]).distances, dijkstra(&g, &[NodeId(0)]).distances);
+    }
+
+    #[test]
+    fn all_pairs_is_symmetric() {
+        let g = generators::with_random_weights(&generators::random_connected(20, 30, 1), 20, 1);
+        let apsp = all_pairs(&g);
+        for u in 0..20 {
+            assert_eq!(apsp[u][u], Distance::ZERO);
+            for v in 0..20 {
+                assert_eq!(apsp[u][v], apsp[v][u], "undirected distances are symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn components_of_disjoint_union() {
+        let g = generators::disjoint_copies(&generators::cycle(4, 1), 3);
+        let cc = connected_components(&g);
+        assert_eq!(cc.component_count, 3);
+        assert_eq!(cc.members(0).len(), 4);
+        assert!(cc.same_component(NodeId(0), NodeId(3)));
+        assert!(!cc.same_component(NodeId(0), NodeId(4)));
+    }
+
+    #[test]
+    fn spanning_forest_properties() {
+        let g = generators::disjoint_copies(&generators::random_connected(20, 30, 3), 2);
+        let f = spanning_forest(&g);
+        // A maximal forest has n - (#components) edges.
+        assert_eq!(f.edges.len(), 40 - 2);
+        let cc = connected_components(&g);
+        for v in g.nodes() {
+            assert!(cc.same_component(v, f.roots[v.index()]));
+            if let Some(p) = f.parents[v.index()] {
+                assert_eq!(f.depths[v.index()], f.depths[p.index()] + 1);
+                assert!(g.has_edge(v, p));
+            } else {
+                assert_eq!(f.roots[v.index()], v);
+                assert_eq!(f.depths[v.index()], 0);
+            }
+        }
+        assert!(f.max_depth() > 0);
+        // Children relation is consistent with parents.
+        let root = f.roots[0];
+        for c in f.children(root) {
+            assert_eq!(f.parents[c.index()], Some(root));
+        }
+    }
+
+    #[test]
+    fn path_to_source_is_trivial() {
+        let g = generators::path(4, 1);
+        let sp = dijkstra(&g, &[NodeId(2)]);
+        assert_eq!(sp.path_to(NodeId(2)), Some(vec![NodeId(2)]));
+    }
+
+    #[test]
+    fn path_reconstruction_has_correct_length() {
+        for seed in 0..4 {
+            let g = generators::with_random_weights(&generators::random_connected(30, 50, seed), 9, seed);
+            let sp = dijkstra(&g, &[NodeId(0)]);
+            for v in g.nodes() {
+                let path = sp.path_to(v).expect("connected graph");
+                let mut total = 0;
+                for w in path.windows(2) {
+                    total += g.edge_weight(w[0], w[1]).expect("path edges exist");
+                }
+                // The reconstructed path weight can only match the distance
+                // (parent pointers follow relaxed edges).
+                assert_eq!(Distance::Finite(total), sp.distance(v));
+            }
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the graph substrate: structural invariants of
+//! generators and agreement between independent shortest-path algorithms.
+
+use congest_graph::{generators, properties, sequential, Distance, Graph, NodeId};
+use proptest::prelude::*;
+
+/// Strategy producing a connected random graph plus an arbitrary source node.
+fn connected_graph_and_source() -> impl Strategy<Value = (Graph, NodeId, u64)> {
+    (2u32..60, 0u64..200, 0u64..1_000_000, 1u64..64).prop_map(|(n, extra, seed, max_w)| {
+        let g = generators::random_connected(n, extra, seed);
+        let g = generators::with_random_weights(&g, max_w, seed ^ 0xabcdef);
+        let src = NodeId((seed % n as u64) as u32);
+        (g, src, max_w)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dijkstra and Bellman–Ford are independent implementations; they must
+    /// agree on every node's distance.
+    #[test]
+    fn dijkstra_agrees_with_bellman_ford((g, src, _w) in connected_graph_and_source()) {
+        let a = sequential::dijkstra(&g, &[src]);
+        let b = sequential::bellman_ford(&g, &[src]);
+        prop_assert_eq!(a.distances, b.distances);
+    }
+
+    /// The triangle inequality holds for the computed distance function:
+    /// `dist(s, v) <= dist(s, u) + w(u, v)` for every edge `{u, v}`.
+    #[test]
+    fn distances_satisfy_triangle_inequality((g, src, _w) in connected_graph_and_source()) {
+        let sp = sequential::dijkstra(&g, &[src]);
+        for e in g.edges() {
+            let du = sp.distance(e.u);
+            let dv = sp.distance(e.v);
+            prop_assert!(dv <= du.saturating_add(e.w));
+            prop_assert!(du <= dv.saturating_add(e.w));
+        }
+    }
+
+    /// Every shortest-path tree edge is tight: `dist(parent) + w == dist(child)`.
+    #[test]
+    fn parent_pointers_are_tight((g, src, _w) in connected_graph_and_source()) {
+        let sp = sequential::dijkstra(&g, &[src]);
+        for v in g.nodes() {
+            if let Some(p) = sp.parents[v.index()] {
+                let w = g.edge_weight(p, v).expect("parent edge exists");
+                prop_assert_eq!(sp.distance(p).saturating_add(w), sp.distance(v));
+            }
+        }
+    }
+
+    /// Multi-source distances equal the pointwise minimum of per-source runs.
+    #[test]
+    fn multi_source_is_pointwise_min((g, src, _w) in connected_graph_and_source()) {
+        let other = NodeId((src.0 + 1) % g.node_count());
+        let multi = sequential::dijkstra(&g, &[src, other]);
+        let a = sequential::dijkstra(&g, &[src]);
+        let b = sequential::dijkstra(&g, &[other]);
+        for v in g.nodes() {
+            prop_assert_eq!(multi.distance(v), a.distance(v).min(b.distance(v)));
+        }
+    }
+
+    /// BFS distances are a lower bound on weighted distances when all weights
+    /// are >= 1, and equal them when all weights are exactly 1.
+    #[test]
+    fn bfs_lower_bounds_weighted((g, src, _w) in connected_graph_and_source()) {
+        let hops = sequential::bfs(&g, &[src]);
+        let weighted = sequential::dijkstra(&g, &[src]);
+        for v in g.nodes() {
+            prop_assert!(hops.distance(v) <= weighted.distance(v));
+        }
+    }
+
+    /// Generators produce graphs whose adjacency structure is internally
+    /// consistent (symmetric adjacency, degree sum = 2m).
+    #[test]
+    fn generator_adjacency_is_consistent(n in 1u32..80, p in 0.0f64..1.0, seed in 0u64..1000) {
+        let g = generators::erdos_renyi_gnp(n, p, seed);
+        let stats = properties::degree_stats(&g);
+        prop_assert_eq!(stats.total, 2 * g.edge_count() as usize);
+        for e in g.edges() {
+            prop_assert!(g.neighbors(e.u).iter().any(|a| a.neighbor == e.v));
+            prop_assert!(g.neighbors(e.v).iter().any(|a| a.neighbor == e.u));
+            prop_assert_ne!(e.u, e.v);
+        }
+    }
+
+    /// `random_connected` always yields a connected graph with at least a
+    /// spanning tree's worth of edges.
+    #[test]
+    fn random_connected_is_connected(n in 1u32..80, extra in 0u64..100, seed in 0u64..1000) {
+        let g = generators::random_connected(n, extra, seed);
+        prop_assert!(properties::is_connected(&g));
+        prop_assert!(g.edge_count() >= n - 1);
+    }
+
+    /// The hop diameter of a connected graph is at most n - 1 and at least the
+    /// eccentricity of node 0.
+    #[test]
+    fn hop_diameter_bounds(n in 2u32..40, extra in 0u64..60, seed in 0u64..500) {
+        let g = generators::random_connected(n, extra, seed);
+        let d = properties::hop_diameter(&g);
+        prop_assert!(d <= (n - 1) as u64);
+        prop_assert!(d >= properties::hop_eccentricity(&g, NodeId(0)) as u64 / 1);
+    }
+
+    /// Induced subgraphs preserve distances measured inside the kept set when
+    /// the kept set is "distance-closed" (here: a ball around the source).
+    #[test]
+    fn induced_ball_preserves_distances((g, src, _w) in connected_graph_and_source()) {
+        let sp = sequential::dijkstra(&g, &[src]);
+        let radius = properties::weighted_radius_from(&g, &[src]);
+        let Some(radius) = radius.finite() else { return Ok(()); };
+        let half = radius / 2;
+        let keep: std::collections::BTreeSet<NodeId> = g
+            .nodes()
+            .filter(|&v| sp.distance(v) <= Distance::Finite(half))
+            .collect();
+        let (sub, map) = g.induced_subgraph(&keep);
+        let new_src = map.iter().position(|&v| v == src).expect("source kept") as u32;
+        let sub_sp = sequential::dijkstra(&sub, &[NodeId(new_src)]);
+        for (new_id, &old_id) in map.iter().enumerate() {
+            // Distances in the subgraph can only be >= the true distance, and
+            // they agree for nodes whose shortest path stays inside the ball.
+            prop_assert!(sub_sp.distances[new_id] >= sp.distance(old_id));
+        }
+    }
+}

@@ -1,0 +1,480 @@
+//! The round-driving engine of the simulator.
+
+use congest_graph::{Graph, NodeId};
+
+use crate::message::InFlight;
+use crate::metrics::{EdgeUsageTrace, Metrics};
+use crate::node::{NodeCtx, NodeRequest};
+use crate::{Message, Network, Protocol, SimConfig, SimError};
+
+/// The result of running a protocol to completion.
+#[derive(Debug, Clone)]
+pub struct RunOutcome<P> {
+    /// The final per-node protocol states, indexed by [`NodeId`]. Protocols
+    /// expose their outputs (distances, cluster ids, …) as fields of their
+    /// state type; the caller reads them from here.
+    pub states: Vec<P>,
+    /// The complexity measurements of the execution.
+    pub metrics: Metrics,
+    /// The per-round edge usage trace, if [`SimConfig::record_edge_trace`]
+    /// was enabled.
+    pub trace: Option<EdgeUsageTrace>,
+}
+
+/// Per-node bookkeeping the engine maintains.
+#[derive(Debug, Clone)]
+struct NodeStatus {
+    /// The earliest round at which the node is next awake.
+    wake_at: u64,
+    /// The node has halted for good.
+    halted: bool,
+}
+
+/// The simulation engine: drives per-node [`Protocol`] state machines through
+/// synchronous rounds over a [`Network`], enforcing the CONGEST and sleeping
+/// model rules and recording [`Metrics`].
+#[derive(Debug, Clone)]
+pub struct Engine<'g> {
+    network: Network<'g>,
+    config: SimConfig,
+}
+
+impl<'g> Engine<'g> {
+    /// Creates an engine over the given graph with the given model
+    /// configuration.
+    pub fn new(graph: &'g Graph, config: SimConfig) -> Self {
+        Engine { network: Network::new(graph), config }
+    }
+
+    /// The network this engine simulates.
+    pub fn network(&self) -> Network<'g> {
+        self.network
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs the protocol produced by `factory` (one instance per node) until
+    /// every node has halted.
+    ///
+    /// Round 0 is the initialization round: every node is awake and its
+    /// [`Protocol::init`] runs. From round 1 on, [`Protocol::on_round`] runs
+    /// for every awake, non-halted node.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::RoundLimitExceeded`] if the protocol does not halt within
+    ///   the configured number of rounds.
+    /// * [`SimError::EdgeCapacityExceeded`] / [`SimError::MessageTooLarge`]
+    ///   if a node violates the CONGEST constraints and `strict_capacity` is
+    ///   enabled.
+    pub fn run<P, F>(&self, mut factory: F) -> Result<RunOutcome<P>, SimError>
+    where
+        P: Protocol,
+        F: FnMut(NodeId) -> P,
+    {
+        let graph = self.network.graph();
+        let n = graph.node_count() as usize;
+        let m = graph.edge_count() as usize;
+        let mut states: Vec<P> = graph.nodes().map(&mut factory).collect();
+        let mut status =
+            vec![NodeStatus { wake_at: 0, halted: false }; n];
+        let mut metrics = Metrics::zero(n, m);
+        let mut trace = if self.config.record_edge_trace {
+            Some(EdgeUsageTrace::default())
+        } else {
+            None
+        };
+
+        // Messages sent in the previous round, awaiting delivery this round.
+        let mut in_flight: Vec<InFlight> = Vec::new();
+        let mut round: u64 = 0;
+
+        loop {
+            if round > self.config.max_rounds {
+                let unhalted = status.iter().filter(|s| !s.halted).count() as u32;
+                return Err(SimError::RoundLimitExceeded {
+                    limit: self.config.max_rounds,
+                    unhalted_nodes: unhalted,
+                });
+            }
+
+            // Deliver messages sent last round. Messages to sleeping or halted
+            // nodes are lost (the defining property of the sleeping model).
+            let mut inboxes: Vec<Vec<Message>> = vec![Vec::new(); n];
+            for flight in in_flight.drain(..) {
+                let st = &status[flight.to.index()];
+                if !st.halted && st.wake_at <= round {
+                    inboxes[flight.to.index()].push(flight.msg);
+                }
+            }
+
+            // Run awake nodes.
+            let mut this_round_trace: Vec<(congest_graph::EdgeId, u32)> = Vec::new();
+            let mut edge_round_count: std::collections::HashMap<(congest_graph::EdgeId, NodeId), u32> =
+                std::collections::HashMap::new();
+            let mut any_awake = false;
+            for v in graph.nodes() {
+                let st = &status[v.index()];
+                if st.halted || st.wake_at > round {
+                    continue;
+                }
+                any_awake = true;
+                metrics.node_energy[v.index()] += 1;
+                let mut ctx = NodeCtx::new(v, graph.node_count(), round, graph.neighbors(v));
+                if round == 0 {
+                    states[v.index()].init(&mut ctx);
+                } else {
+                    states[v.index()].on_round(&mut ctx, &inboxes[v.index()]);
+                }
+                let NodeRequest { outbox, wake_at, halt } = ctx.request;
+                // Process sends.
+                for (edge, to, words) in outbox {
+                    if words.len() > self.config.max_message_words {
+                        if self.config.strict_capacity {
+                            return Err(SimError::MessageTooLarge {
+                                node: v,
+                                words: words.len(),
+                                max_words: self.config.max_message_words,
+                            });
+                        }
+                        metrics.capacity_violations += 1;
+                    }
+                    let used = edge_round_count.entry((edge, v)).or_insert(0);
+                    *used += 1;
+                    if *used > self.config.edge_capacity {
+                        if self.config.strict_capacity {
+                            return Err(SimError::EdgeCapacityExceeded {
+                                node: v,
+                                edge,
+                                round,
+                                capacity: self.config.edge_capacity,
+                            });
+                        }
+                        metrics.capacity_violations += 1;
+                    }
+                    metrics.messages += 1;
+                    metrics.edge_congestion[edge.index()] += 1;
+                    if trace.is_some() {
+                        this_round_trace.push((edge, 1));
+                    }
+                    in_flight.push(InFlight { to, msg: Message { from: v, edge, words } });
+                }
+                // Process sleep/halt requests.
+                let st = &mut status[v.index()];
+                if halt {
+                    st.halted = true;
+                } else if let Some(w) = wake_at {
+                    st.wake_at = w;
+                } else {
+                    st.wake_at = round + 1;
+                }
+            }
+
+            if let Some(t) = trace.as_mut() {
+                // Coalesce duplicate edges in this round's trace entry.
+                let mut merged: std::collections::HashMap<congest_graph::EdgeId, u32> =
+                    std::collections::HashMap::new();
+                for (e, c) in this_round_trace {
+                    *merged.entry(e).or_insert(0) += c;
+                }
+                let mut entry: Vec<_> = merged.into_iter().collect();
+                entry.sort_by_key(|&(e, _)| e);
+                t.rounds.push(entry);
+            }
+
+            // Termination check: all halted and nothing in flight.
+            let all_halted = status.iter().all(|s| s.halted);
+            if all_halted {
+                metrics.rounds = round + 1;
+                return Ok(RunOutcome { states, metrics, trace });
+            }
+
+            // Deadlock / quiescence guard: nobody is awake now or in the
+            // future and no message is in flight — the protocol will never
+            // make progress again. Treat it as termination at this round;
+            // protocols that rely on this behave like "implicit halt".
+            let next_wake = status
+                .iter()
+                .filter(|s| !s.halted)
+                .map(|s| s.wake_at)
+                .min();
+            if in_flight.is_empty() && !any_awake {
+                match next_wake {
+                    Some(w) if w > round => {
+                        if self.config.fast_forward_idle {
+                            // Jump to the next scheduled wake-up. The skipped
+                            // rounds still exist in the model but cost nothing.
+                            if let Some(t) = trace.as_mut() {
+                                for _ in round + 1..w {
+                                    t.rounds.push(Vec::new());
+                                }
+                            }
+                            round = w;
+                            continue;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if in_flight.is_empty()
+                && next_wake.map_or(true, |w| w > round)
+                && !any_awake
+                && !self.config.fast_forward_idle
+            {
+                // Without fast-forward we simply step to the next round below.
+            }
+            // If nothing can ever happen again (no in-flight messages and no
+            // non-halted node will ever wake because they are all waiting on
+            // messages that will never come), the protocol is stuck. This can
+            // only be detected heuristically; the round limit catches it.
+
+            round += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::{generators, Distance};
+
+    /// Single-source BFS where every node halts once its distance stabilizes
+    /// for `n` rounds. Used to exercise the engine end to end.
+    #[derive(Debug, Clone)]
+    struct SimpleBfs {
+        is_source: bool,
+        dist: Distance,
+        quiet: u32,
+    }
+
+    impl Protocol for SimpleBfs {
+        fn init(&mut self, ctx: &mut NodeCtx<'_>) {
+            if self.is_source {
+                self.dist = Distance::ZERO;
+                ctx.broadcast(&[0]);
+            }
+        }
+        fn on_round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[Message]) {
+            let mut improved = false;
+            for msg in inbox {
+                let cand = Distance::Finite(msg.words[0] + 1);
+                if cand < self.dist {
+                    self.dist = cand;
+                    improved = true;
+                }
+            }
+            if improved {
+                self.quiet = 0;
+                ctx.broadcast(&[self.dist.expect_finite()]);
+            } else {
+                self.quiet += 1;
+                if self.quiet > ctx.node_count() {
+                    ctx.halt();
+                }
+            }
+        }
+    }
+
+    fn run_bfs(g: &Graph, source: NodeId) -> RunOutcome<SimpleBfs> {
+        Engine::new(g, SimConfig::default())
+            .run(|id| SimpleBfs { is_source: id == source, dist: Distance::Infinite, quiet: 0 })
+            .expect("bfs should run within limits")
+    }
+
+    #[test]
+    fn bfs_protocol_matches_sequential_bfs() {
+        let g = generators::random_connected(40, 60, 11);
+        let run = run_bfs(&g, NodeId(0));
+        let expected = congest_graph::sequential::bfs(&g, &[NodeId(0)]);
+        for v in g.nodes() {
+            assert_eq!(run.states[v.index()].dist, expected.distance(v));
+        }
+        // Time is at least the eccentricity of the source.
+        let ecc = congest_graph::properties::hop_eccentricity(&g, NodeId(0));
+        assert!(run.metrics.rounds >= ecc);
+    }
+
+    #[test]
+    fn energy_counts_awake_rounds_for_all_nodes() {
+        let g = generators::path(10, 1);
+        let run = run_bfs(&g, NodeId(0));
+        // Nobody sleeps in SimpleBfs, so every node's energy equals the rounds
+        // it was alive before halting, which is > the path length.
+        assert!(run.metrics.max_energy() >= 9);
+        assert!(run.metrics.node_energy.iter().all(|&e| e > 0));
+    }
+
+    #[test]
+    fn congestion_counts_messages_per_edge() {
+        let g = generators::path(4, 1);
+        let run = run_bfs(&g, NodeId(0));
+        assert_eq!(run.metrics.messages, run.metrics.edge_congestion.iter().sum::<u64>());
+        assert!(run.metrics.max_congestion() >= 1);
+    }
+
+    /// A protocol in which nodes sleep most of the time: node v wakes only at
+    /// round 10 * (v+1), does nothing, and halts.
+    #[derive(Debug, Clone)]
+    struct Sleeper {
+        woke_at: Option<u64>,
+    }
+
+    impl Protocol for Sleeper {
+        fn init(&mut self, ctx: &mut NodeCtx<'_>) {
+            ctx.sleep_until(10 * (ctx.node_id().0 as u64 + 1));
+        }
+        fn on_round(&mut self, ctx: &mut NodeCtx<'_>, _inbox: &[Message]) {
+            self.woke_at = Some(ctx.round());
+            ctx.halt();
+        }
+    }
+
+    #[test]
+    fn sleeping_nodes_cost_no_energy_and_fast_forward_works() {
+        let g = generators::path(5, 1);
+        let run = Engine::new(&g, SimConfig::default())
+            .run(|_| Sleeper { woke_at: None })
+            .unwrap();
+        for v in g.nodes() {
+            assert_eq!(run.states[v.index()].woke_at, Some(10 * (v.0 as u64 + 1)));
+            // Awake in round 0 (init) and in its single wake round.
+            assert_eq!(run.metrics.node_energy[v.index()], 2);
+        }
+        // Total time is dominated by the last sleeper (round 50), even though
+        // almost nothing was simulated.
+        assert!(run.metrics.rounds >= 50);
+        assert_eq!(run.metrics.messages, 0);
+    }
+
+    /// Messages sent to sleeping nodes must be lost.
+    #[derive(Debug, Clone)]
+    struct LossyReceiver {
+        got: u32,
+        is_sender: bool,
+    }
+
+    impl Protocol for LossyReceiver {
+        fn init(&mut self, ctx: &mut NodeCtx<'_>) {
+            if self.is_sender {
+                // Send in rounds 0 and 5 (delivered in rounds 1 and 6).
+                ctx.broadcast(&[1]);
+            } else {
+                // Sleep through round 1 (losing that message), awake at 6.
+                ctx.sleep_until(6);
+            }
+        }
+        fn on_round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[Message]) {
+            self.got += inbox.len() as u32;
+            if self.is_sender {
+                if ctx.round() == 5 {
+                    ctx.broadcast(&[2]);
+                }
+                if ctx.round() >= 7 {
+                    ctx.halt();
+                }
+            } else {
+                ctx.halt();
+            }
+        }
+    }
+
+    #[test]
+    fn messages_to_sleeping_nodes_are_lost() {
+        let g = generators::path(2, 1);
+        let run = Engine::new(&g, SimConfig::default())
+            .run(|id| LossyReceiver { got: 0, is_sender: id == NodeId(0) })
+            .unwrap();
+        // Node 1 slept through the first message and received only the second.
+        assert_eq!(run.states[1].got, 1);
+    }
+
+    /// A protocol that spams an edge beyond capacity.
+    #[derive(Debug, Clone)]
+    struct Spammer;
+
+    impl Protocol for Spammer {
+        fn init(&mut self, ctx: &mut NodeCtx<'_>) {
+            let first = ctx.neighbors().first().copied();
+            if let Some(adj) = first {
+                ctx.send_on_edge(adj.edge, &[1]);
+                ctx.send_on_edge(adj.edge, &[2]);
+            }
+            ctx.halt();
+        }
+        fn on_round(&mut self, _ctx: &mut NodeCtx<'_>, _inbox: &[Message]) {}
+    }
+
+    #[test]
+    fn strict_capacity_rejects_overload() {
+        let g = generators::path(2, 1);
+        let err = Engine::new(&g, SimConfig::default()).run(|_| Spammer).unwrap_err();
+        assert!(matches!(err, SimError::EdgeCapacityExceeded { .. }));
+    }
+
+    #[test]
+    fn lenient_capacity_counts_violations() {
+        let g = generators::path(2, 1);
+        let cfg = SimConfig { strict_capacity: false, ..SimConfig::default() };
+        let run = Engine::new(&g, cfg).run(|_| Spammer).unwrap();
+        assert_eq!(run.metrics.capacity_violations, 2);
+    }
+
+    #[test]
+    fn capacity_two_allows_two_messages() {
+        let g = generators::path(2, 1);
+        let cfg = SimConfig::default().with_edge_capacity(2);
+        let run = Engine::new(&g, cfg).run(|_| Spammer).unwrap();
+        assert_eq!(run.metrics.capacity_violations, 0);
+        assert_eq!(run.metrics.messages, 4); // both endpoints spam once
+    }
+
+    /// A protocol that never halts.
+    #[derive(Debug, Clone)]
+    struct Immortal;
+
+    impl Protocol for Immortal {
+        fn init(&mut self, _ctx: &mut NodeCtx<'_>) {}
+        fn on_round(&mut self, _ctx: &mut NodeCtx<'_>, _inbox: &[Message]) {}
+    }
+
+    #[test]
+    fn round_limit_is_enforced() {
+        let g = generators::path(3, 1);
+        let cfg = SimConfig::default().with_max_rounds(50);
+        let err = Engine::new(&g, cfg).run(|_| Immortal).unwrap_err();
+        assert!(matches!(err, SimError::RoundLimitExceeded { limit: 50, unhalted_nodes: 3 }));
+    }
+
+    #[test]
+    fn oversized_message_is_rejected() {
+        #[derive(Debug, Clone)]
+        struct BigTalker;
+        impl Protocol for BigTalker {
+            fn init(&mut self, ctx: &mut NodeCtx<'_>) {
+                ctx.broadcast(&[0; 16]);
+                ctx.halt();
+            }
+            fn on_round(&mut self, _ctx: &mut NodeCtx<'_>, _inbox: &[Message]) {}
+        }
+        let g = generators::path(2, 1);
+        let err = Engine::new(&g, SimConfig::default()).run(|_| BigTalker).unwrap_err();
+        assert!(matches!(err, SimError::MessageTooLarge { words: 16, .. }));
+    }
+
+    #[test]
+    fn edge_trace_is_recorded_when_enabled() {
+        let g = generators::path(4, 1);
+        let cfg = SimConfig::default().with_edge_trace(true);
+        let source = NodeId(0);
+        let run = Engine::new(&g, cfg)
+            .run(|id| SimpleBfs { is_source: id == source, dist: Distance::Infinite, quiet: 0 })
+            .unwrap();
+        let trace = run.trace.expect("trace requested");
+        assert_eq!(trace.total_messages(), run.metrics.messages);
+        assert_eq!(trace.max_edge_total(), run.metrics.max_congestion());
+        assert_eq!(trace.len() as u64, run.metrics.rounds);
+    }
+}

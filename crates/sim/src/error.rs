@@ -1,0 +1,90 @@
+//! Error types for the simulator.
+
+use std::error::Error;
+use std::fmt;
+
+use congest_graph::{EdgeId, NodeId};
+
+/// Errors produced while running a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The simulation did not terminate within [`crate::SimConfig::max_rounds`].
+    RoundLimitExceeded {
+        /// The configured round limit.
+        limit: u64,
+        /// Number of nodes that had not halted when the limit was hit.
+        unhalted_nodes: u32,
+    },
+    /// A node attempted to send more messages over an edge in one round than
+    /// the configured capacity allows (only with `strict_capacity`).
+    EdgeCapacityExceeded {
+        /// The sending node.
+        node: NodeId,
+        /// The edge used.
+        edge: EdgeId,
+        /// The simulation round.
+        round: u64,
+        /// The configured capacity.
+        capacity: u32,
+    },
+    /// A message exceeded the configured maximum number of words (only with
+    /// `strict_capacity`).
+    MessageTooLarge {
+        /// The sending node.
+        node: NodeId,
+        /// Number of words in the offending message.
+        words: usize,
+        /// The configured maximum.
+        max_words: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::RoundLimitExceeded { limit, unhalted_nodes } => write!(
+                f,
+                "simulation exceeded the round limit of {limit} with {unhalted_nodes} nodes still running"
+            ),
+            SimError::EdgeCapacityExceeded { node, edge, round, capacity } => write!(
+                f,
+                "node {node} sent more than {capacity} messages over edge {edge} in round {round}"
+            ),
+            SimError::MessageTooLarge { node, words, max_words } => write!(
+                f,
+                "node {node} sent a message of {words} words, exceeding the limit of {max_words}"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_key_facts() {
+        let e = SimError::RoundLimitExceeded { limit: 100, unhalted_nodes: 3 };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("3"));
+        let e = SimError::EdgeCapacityExceeded {
+            node: NodeId(1),
+            edge: EdgeId(2),
+            round: 7,
+            capacity: 1,
+        };
+        assert!(e.to_string().contains("v1"));
+        assert!(e.to_string().contains("e2"));
+        let e = SimError::MessageTooLarge { node: NodeId(0), words: 9, max_words: 4 };
+        assert!(e.to_string().contains("9 words"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: Send + Sync + 'static>() {}
+        assert_bounds::<SimError>();
+    }
+}

@@ -1,0 +1,153 @@
+//! A synchronous message-passing simulator for the CONGEST and sleeping
+//! ("energy") models of distributed computing, as used by the paper
+//! *"A Near-Optimal Low-Energy Deterministic Distributed SSSP with
+//! Ramifications on Congestion and APSP"* (Ghaffari & Trygub, PODC 2024).
+//!
+//! # Model
+//!
+//! The network is an undirected weighted graph (a [`congest_graph::Graph`]).
+//! Computation proceeds in synchronous rounds. Per round, each *awake* node
+//! receives the messages sent to it in the previous round, performs local
+//! computation, and sends at most [`SimConfig::edge_capacity`] messages of at
+//! most [`SimConfig::max_message_words`] machine words over each incident
+//! edge. A *sleeping* node does nothing and **loses** any message sent to it
+//! (this is the sleeping model of the paper, Section 1.2).
+//!
+//! The simulator measures exactly the quantities the paper's theorems bound:
+//!
+//! * **time** — number of rounds until every node has halted,
+//! * **message complexity** — total messages sent,
+//! * **congestion** — maximum number of messages sent over any single edge,
+//! * **energy** — maximum number of awake rounds over any single node.
+//!
+//! # Writing a protocol
+//!
+//! A protocol is a per-node state machine implementing [`Protocol`]. The
+//! engine instantiates one state machine per node and drives them round by
+//! round:
+//!
+//! ```
+//! use congest_graph::generators;
+//! use congest_sim::{Engine, Message, NodeCtx, Protocol, SimConfig};
+//!
+//! /// Each node learns the minimum node id in its connected component by
+//! /// flooding: a classic warm-up protocol.
+//! #[derive(Debug, Clone)]
+//! struct MinFlood { best: u64, rounds_quiet: u32 }
+//!
+//! impl Protocol for MinFlood {
+//!     fn init(&mut self, ctx: &mut NodeCtx<'_>) {
+//!         self.best = ctx.node_id().0 as u64;
+//!         ctx.broadcast(&[self.best]);
+//!     }
+//!     fn on_round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[Message]) {
+//!         let before = self.best;
+//!         for m in inbox {
+//!             self.best = self.best.min(m.words[0]);
+//!         }
+//!         if self.best < before {
+//!             ctx.broadcast(&[self.best]);
+//!             self.rounds_quiet = 0;
+//!         } else {
+//!             self.rounds_quiet += 1;
+//!             // The component has hop-diameter < n, so after n quiet rounds
+//!             // no further improvement can arrive.
+//!             if self.rounds_quiet > ctx.node_count() {
+//!                 ctx.halt();
+//!             }
+//!         }
+//!     }
+//! }
+//!
+//! let g = generators::random_connected(32, 40, 7);
+//! let run = Engine::new(&g, SimConfig::default())
+//!     .run(|_id| MinFlood { best: 0, rounds_quiet: 0 })
+//!     .unwrap();
+//! assert!(run.states.iter().all(|s| s.best == 0));
+//! assert!(run.metrics.rounds > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod error;
+mod message;
+mod metrics;
+mod network;
+mod node;
+pub mod scheduler;
+
+pub use engine::{Engine, RunOutcome};
+pub use error::SimError;
+pub use message::Message;
+pub use metrics::{EdgeUsageTrace, Metrics};
+pub use network::Network;
+pub use node::{NodeCtx, Protocol};
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the simulated CONGEST / sleeping model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Maximum number of messages a node may send over one edge (one
+    /// direction) in one round. The classic CONGEST model has capacity 1; the
+    /// paper's "megaround" device (Section 3.1.3) corresponds to a larger
+    /// capacity whose width is charged to the time/energy accounting by the
+    /// caller.
+    pub edge_capacity: u32,
+    /// Maximum number of `u64` words per message (`B = O(log n)` bits in the
+    /// paper; one word comfortably holds an id or a distance, so a constant
+    /// number of words is `O(log n)` bits).
+    pub max_message_words: usize,
+    /// Hard limit on the number of simulated rounds; exceeded limits produce
+    /// [`SimError::RoundLimitExceeded`] rather than looping forever.
+    pub max_rounds: u64,
+    /// If `true` (default), rounds in which every node is asleep and no
+    /// message is in flight are fast-forwarded to the next scheduled wake-up.
+    /// The skipped rounds still count toward the round total (they happen in
+    /// the model; nobody is awake during them), but they cost no simulation
+    /// work. Essential for low-energy protocols with long sleep periods.
+    pub fast_forward_idle: bool,
+    /// If `true`, exceeding `edge_capacity` or `max_message_words` is a hard
+    /// error; if `false`, violations are only counted in
+    /// [`Metrics::capacity_violations`].
+    pub strict_capacity: bool,
+    /// Record the per-edge, per-round usage trace needed by the random-delay
+    /// scheduler (costs memory proportional to rounds × edges used).
+    pub record_edge_trace: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            edge_capacity: 1,
+            max_message_words: 4,
+            max_rounds: 10_000_000,
+            fast_forward_idle: true,
+            strict_capacity: true,
+            record_edge_trace: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A configuration with a larger per-edge capacity (a "megaround" of the
+    /// given width, Section 3.1.3 of the paper).
+    pub fn with_edge_capacity(mut self, capacity: u32) -> Self {
+        self.edge_capacity = capacity;
+        self
+    }
+
+    /// Enables or disables recording of the per-edge usage trace.
+    pub fn with_edge_trace(mut self, record: bool) -> Self {
+        self.record_edge_trace = record;
+        self
+    }
+
+    /// Sets the round limit.
+    pub fn with_max_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+}

@@ -1,0 +1,56 @@
+//! Messages exchanged between neighbouring nodes.
+
+use congest_graph::{EdgeId, NodeId};
+
+/// A message delivered to a node at the start of a round.
+///
+/// Message contents are a short sequence of `u64` *words*; in the CONGEST
+/// model a message carries `B = O(log n)` bits, which corresponds to a
+/// constant number of words for any graph this workspace simulates. The
+/// engine enforces [`crate::SimConfig::max_message_words`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// The neighbour that sent this message.
+    pub from: NodeId,
+    /// The edge over which the message travelled.
+    pub edge: EdgeId,
+    /// The message payload.
+    pub words: Vec<u64>,
+}
+
+impl Message {
+    /// Convenience accessor for the first payload word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the message is empty.
+    pub fn word(&self, idx: usize) -> u64 {
+        self.words[idx]
+    }
+}
+
+/// A message queued for delivery in the next round (internal to the engine).
+#[derive(Debug, Clone)]
+pub(crate) struct InFlight {
+    pub(crate) to: NodeId,
+    pub(crate) msg: Message,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_accessor() {
+        let m = Message { from: NodeId(1), edge: EdgeId(0), words: vec![10, 20] };
+        assert_eq!(m.word(0), 10);
+        assert_eq!(m.word(1), 20);
+    }
+
+    #[test]
+    #[should_panic]
+    fn word_accessor_panics_out_of_range() {
+        let m = Message { from: NodeId(1), edge: EdgeId(0), words: vec![] };
+        let _ = m.word(0);
+    }
+}

@@ -1,0 +1,286 @@
+//! Measurement of the complexity quantities the paper's theorems bound:
+//! rounds (time), messages, per-edge congestion, and per-node energy.
+
+use congest_graph::{EdgeId, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Complexity measurements of one (or several composed) protocol executions.
+///
+/// * `rounds` — time complexity,
+/// * `messages` — message complexity,
+/// * `edge_congestion[e]` — messages sent over edge `e` (both directions),
+/// * `node_energy[v]` — rounds in which node `v` was awake.
+///
+/// Metrics compose: [`Metrics::merge_sequential`] models running one phase
+/// after another (rounds add), [`Metrics::merge_concurrent`] models phases on
+/// disjoint parts of the network running side by side (rounds take the max);
+/// in both cases per-edge congestion and per-node energy add, because every
+/// message and awake round still happens.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Number of rounds (time complexity).
+    pub rounds: u64,
+    /// Total number of messages sent (message complexity).
+    pub messages: u64,
+    /// Messages per edge, indexed by [`EdgeId`].
+    pub edge_congestion: Vec<u64>,
+    /// Awake rounds per node, indexed by [`NodeId`].
+    pub node_energy: Vec<u64>,
+    /// Number of sends that exceeded the per-round edge capacity or message
+    /// size limit (only non-zero when `strict_capacity` is off).
+    pub capacity_violations: u64,
+}
+
+impl Metrics {
+    /// An all-zero metrics value for a graph with `n` nodes and `m` edges.
+    pub fn zero(n: usize, m: usize) -> Metrics {
+        Metrics {
+            rounds: 0,
+            messages: 0,
+            edge_congestion: vec![0; m],
+            node_energy: vec![0; n],
+            capacity_violations: 0,
+        }
+    }
+
+    /// The maximum congestion over all edges (0 for an edgeless graph).
+    pub fn max_congestion(&self) -> u64 {
+        self.edge_congestion.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The maximum energy over all nodes — the paper's *energy complexity*.
+    pub fn max_energy(&self) -> u64 {
+        self.node_energy.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The mean energy over all nodes (node-averaged awake complexity).
+    pub fn mean_energy(&self) -> f64 {
+        if self.node_energy.is_empty() {
+            0.0
+        } else {
+            self.node_energy.iter().sum::<u64>() as f64 / self.node_energy.len() as f64
+        }
+    }
+
+    /// The mean congestion over all edges.
+    pub fn mean_congestion(&self) -> f64 {
+        if self.edge_congestion.is_empty() {
+            0.0
+        } else {
+            self.edge_congestion.iter().sum::<u64>() as f64 / self.edge_congestion.len() as f64
+        }
+    }
+
+    /// Accumulates `other` as a phase that runs *after* `self` (sequential
+    /// composition): rounds add, congestion and energy add componentwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two metrics are for different graph sizes.
+    pub fn merge_sequential(&mut self, other: &Metrics) {
+        assert_eq!(self.edge_congestion.len(), other.edge_congestion.len());
+        assert_eq!(self.node_energy.len(), other.node_energy.len());
+        self.rounds += other.rounds;
+        self.messages += other.messages;
+        self.capacity_violations += other.capacity_violations;
+        for (a, b) in self.edge_congestion.iter_mut().zip(&other.edge_congestion) {
+            *a += b;
+        }
+        for (a, b) in self.node_energy.iter_mut().zip(&other.node_energy) {
+            *a += b;
+        }
+    }
+
+    /// Accumulates `other` as a phase that runs *concurrently* with `self` on
+    /// a disjoint part of the network: rounds take the maximum, congestion and
+    /// energy add componentwise (they touch disjoint edges/nodes, so this is
+    /// exact for genuinely disjoint phases).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two metrics are for different graph sizes.
+    pub fn merge_concurrent(&mut self, other: &Metrics) {
+        assert_eq!(self.edge_congestion.len(), other.edge_congestion.len());
+        assert_eq!(self.node_energy.len(), other.node_energy.len());
+        self.rounds = self.rounds.max(other.rounds);
+        self.messages += other.messages;
+        self.capacity_violations += other.capacity_violations;
+        for (a, b) in self.edge_congestion.iter_mut().zip(&other.edge_congestion) {
+            *a += b;
+        }
+        for (a, b) in self.node_energy.iter_mut().zip(&other.node_energy) {
+            *a += b;
+        }
+    }
+
+    /// Re-attributes metrics measured on a subgraph back to the original
+    /// graph: `node_map[i]` / `edge_map[j]` give the original ids of subgraph
+    /// node `i` / edge `j`, and `n`, `m` are the original graph's sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the maps do not match the metric vector lengths.
+    pub fn remap(&self, node_map: &[NodeId], edge_map: &[EdgeId], n: usize, m: usize) -> Metrics {
+        assert_eq!(node_map.len(), self.node_energy.len(), "node map length mismatch");
+        assert_eq!(edge_map.len(), self.edge_congestion.len(), "edge map length mismatch");
+        let mut out = Metrics::zero(n, m);
+        out.rounds = self.rounds;
+        out.messages = self.messages;
+        out.capacity_violations = self.capacity_violations;
+        for (i, &orig) in node_map.iter().enumerate() {
+            out.node_energy[orig.index()] += self.node_energy[i];
+        }
+        for (j, &orig) in edge_map.iter().enumerate() {
+            out.edge_congestion[orig.index()] += self.edge_congestion[j];
+        }
+        out
+    }
+
+    /// Multiplies the time and energy accounting by `factor`. Used to charge
+    /// "megarounds" (Section 3.1.3 of the paper): when `k` subroutines share
+    /// an edge, each simulated round stands for `k` model rounds and an awake
+    /// node is awake for all `k` of them.
+    pub fn charge_megaround(&mut self, factor: u64) {
+        self.rounds = self.rounds.saturating_mul(factor);
+        for e in &mut self.node_energy {
+            *e = e.saturating_mul(factor);
+        }
+    }
+}
+
+/// A per-round, per-edge usage trace of one protocol execution, used by the
+/// random-delay scheduler to compute the makespan of running many instances
+/// concurrently (the paper's APSP construction).
+///
+/// `rounds[r]` lists `(edge, messages_sent_over_edge_in_round_r)` pairs,
+/// sparsely (edges with zero usage are omitted).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeUsageTrace {
+    /// Sparse per-round edge usage.
+    pub rounds: Vec<Vec<(EdgeId, u32)>>,
+}
+
+impl EdgeUsageTrace {
+    /// Number of rounds covered by the trace.
+    pub fn len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Returns `true` if the trace covers no rounds.
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+
+    /// Total messages in the trace.
+    pub fn total_messages(&self) -> u64 {
+        self.rounds.iter().flatten().map(|&(_, c)| c as u64).sum()
+    }
+
+    /// The maximum number of messages any single edge carries over the whole
+    /// trace (the instance's congestion).
+    pub fn max_edge_total(&self) -> u64 {
+        let mut totals = std::collections::HashMap::new();
+        for round in &self.rounds {
+            for &(e, c) in round {
+                *totals.entry(e).or_insert(0u64) += c as u64;
+            }
+        }
+        totals.values().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize, m: usize, rounds: u64) -> Metrics {
+        let mut x = Metrics::zero(n, m);
+        x.rounds = rounds;
+        x.messages = 10;
+        for e in x.edge_congestion.iter_mut() {
+            *e = 2;
+        }
+        for v in x.node_energy.iter_mut() {
+            *v = 3;
+        }
+        x
+    }
+
+    #[test]
+    fn zero_metrics() {
+        let z = Metrics::zero(3, 4);
+        assert_eq!(z.max_congestion(), 0);
+        assert_eq!(z.max_energy(), 0);
+        assert_eq!(z.mean_energy(), 0.0);
+        assert_eq!(z.mean_congestion(), 0.0);
+    }
+
+    #[test]
+    fn sequential_merge_adds_rounds() {
+        let mut a = sample(2, 3, 5);
+        let b = sample(2, 3, 7);
+        a.merge_sequential(&b);
+        assert_eq!(a.rounds, 12);
+        assert_eq!(a.messages, 20);
+        assert_eq!(a.max_congestion(), 4);
+        assert_eq!(a.max_energy(), 6);
+    }
+
+    #[test]
+    fn concurrent_merge_takes_max_rounds() {
+        let mut a = sample(2, 3, 5);
+        let b = sample(2, 3, 7);
+        a.merge_concurrent(&b);
+        assert_eq!(a.rounds, 7);
+        assert_eq!(a.messages, 20);
+        assert_eq!(a.max_energy(), 6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn merging_mismatched_sizes_panics() {
+        let mut a = sample(2, 3, 5);
+        let b = sample(3, 3, 5);
+        a.merge_sequential(&b);
+    }
+
+    #[test]
+    fn remap_attributes_to_original_ids() {
+        let mut sub = Metrics::zero(2, 1);
+        sub.rounds = 4;
+        sub.messages = 6;
+        sub.node_energy = vec![5, 7];
+        sub.edge_congestion = vec![9];
+        let out = sub.remap(&[NodeId(3), NodeId(1)], &[EdgeId(2)], 5, 4);
+        assert_eq!(out.node_energy, vec![0, 7, 0, 5, 0]);
+        assert_eq!(out.edge_congestion, vec![0, 0, 9, 0]);
+        assert_eq!(out.rounds, 4);
+        assert_eq!(out.messages, 6);
+    }
+
+    #[test]
+    fn megaround_charging_scales_time_and_energy_not_messages() {
+        let mut a = sample(2, 2, 5);
+        a.charge_megaround(3);
+        assert_eq!(a.rounds, 15);
+        assert_eq!(a.max_energy(), 9);
+        assert_eq!(a.messages, 10);
+        assert_eq!(a.max_congestion(), 2);
+    }
+
+    #[test]
+    fn trace_statistics() {
+        let t = EdgeUsageTrace {
+            rounds: vec![
+                vec![(EdgeId(0), 1), (EdgeId(1), 2)],
+                vec![],
+                vec![(EdgeId(0), 3)],
+            ],
+        };
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.total_messages(), 6);
+        assert_eq!(t.max_edge_total(), 4);
+        assert!(EdgeUsageTrace::default().is_empty());
+    }
+}

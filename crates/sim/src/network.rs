@@ -1,0 +1,56 @@
+//! The simulated network: a thin view over a [`congest_graph::Graph`].
+
+use congest_graph::{Adjacency, Graph, NodeId};
+
+/// A simulated network over an undirected weighted graph.
+///
+/// The network does not own the graph; it provides the topology queries that
+/// nodes are allowed to make locally (their own neighbourhood) plus the global
+/// parameters every node is assumed to know (`n`, as is standard in CONGEST).
+#[derive(Debug, Clone, Copy)]
+pub struct Network<'g> {
+    graph: &'g Graph,
+}
+
+impl<'g> Network<'g> {
+    /// Creates a network over `graph`.
+    pub fn new(graph: &'g Graph) -> Self {
+        Network { graph }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> u32 {
+        self.graph.node_count()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> u32 {
+        self.graph.edge_count()
+    }
+
+    /// The local neighbourhood of `v` (the only topology a node can see).
+    pub fn neighbors(&self, v: NodeId) -> &'g [Adjacency] {
+        self.graph.neighbors(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators;
+
+    #[test]
+    fn network_exposes_graph_views() {
+        let g = generators::cycle(5, 2);
+        let net = Network::new(&g);
+        assert_eq!(net.node_count(), 5);
+        assert_eq!(net.edge_count(), 5);
+        assert_eq!(net.neighbors(NodeId(0)).len(), 2);
+        assert_eq!(net.graph().max_weight(), 2);
+    }
+}

@@ -1,0 +1,203 @@
+//! The per-node protocol interface: [`Protocol`] and [`NodeCtx`].
+
+use congest_graph::{Adjacency, EdgeId, NodeId};
+
+use crate::Message;
+
+/// A distributed protocol, written as a per-node state machine.
+///
+/// The engine creates one value of the implementing type per node and drives
+/// it through synchronous rounds. A node only ever sees:
+///
+/// * its own id and its incident edges (via [`NodeCtx`]),
+/// * the number of nodes `n` (standard CONGEST assumption),
+/// * the messages its neighbours sent it in the previous round.
+///
+/// Nodes control their own sleep schedule through [`NodeCtx::sleep_for`] /
+/// [`NodeCtx::sleep_until`] and stop participating with [`NodeCtx::halt`].
+pub trait Protocol {
+    /// Called once, in round 0, when every node is awake. Typically used to
+    /// send initial messages and set the initial sleep schedule.
+    fn init(&mut self, ctx: &mut NodeCtx<'_>);
+
+    /// Called in every round `>= 1` in which this node is awake, with the
+    /// messages delivered to it this round (messages sent to it while it was
+    /// asleep are lost, per the sleeping model).
+    fn on_round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[Message]);
+}
+
+/// What a node asked the engine to do at the end of its round.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct NodeRequest {
+    /// Messages to send: (edge, destination, payload).
+    pub(crate) outbox: Vec<(EdgeId, NodeId, Vec<u64>)>,
+    /// If set, the node sleeps and next wakes at this round.
+    pub(crate) wake_at: Option<u64>,
+    /// The node halts (stops for good; counts no further energy).
+    pub(crate) halt: bool,
+}
+
+/// The engine-provided view a node has of itself and the network during one
+/// round. All message sends and sleep requests go through this context.
+#[derive(Debug)]
+pub struct NodeCtx<'a> {
+    node: NodeId,
+    node_count: u32,
+    round: u64,
+    neighbors: &'a [Adjacency],
+    pub(crate) request: NodeRequest,
+}
+
+impl<'a> NodeCtx<'a> {
+    pub(crate) fn new(
+        node: NodeId,
+        node_count: u32,
+        round: u64,
+        neighbors: &'a [Adjacency],
+    ) -> Self {
+        NodeCtx { node, node_count, round, neighbors, request: NodeRequest::default() }
+    }
+
+    /// This node's id.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// The number of nodes `n` in the network (globally known, as is standard
+    /// in the CONGEST model).
+    pub fn node_count(&self) -> u32 {
+        self.node_count
+    }
+
+    /// The current round number (0 during [`Protocol::init`]).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The incident edges of this node.
+    pub fn neighbors(&self) -> &'a [Adjacency] {
+        self.neighbors
+    }
+
+    /// The degree of this node.
+    pub fn degree(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Sends a message over the given incident edge. The message is delivered
+    /// at the start of the next round, if the recipient is awake then.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is not incident to this node.
+    pub fn send_on_edge(&mut self, edge: EdgeId, words: &[u64]) {
+        let adj = self
+            .neighbors
+            .iter()
+            .find(|a| a.edge == edge)
+            .unwrap_or_else(|| panic!("edge {edge} is not incident to node {}", self.node));
+        self.request.outbox.push((edge, adj.neighbor, words.to_vec()));
+    }
+
+    /// Sends a message to the given neighbour (over the lightest edge to it,
+    /// if there are parallel edges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `neighbor` is not adjacent to this node.
+    pub fn send(&mut self, neighbor: NodeId, words: &[u64]) {
+        let adj = self
+            .neighbors
+            .iter()
+            .filter(|a| a.neighbor == neighbor)
+            .min_by_key(|a| a.weight)
+            .unwrap_or_else(|| panic!("node {neighbor} is not a neighbour of {}", self.node));
+        self.request.outbox.push((adj.edge, neighbor, words.to_vec()));
+    }
+
+    /// Sends the same message over every incident edge.
+    pub fn broadcast(&mut self, words: &[u64]) {
+        for adj in self.neighbors {
+            self.request.outbox.push((adj.edge, adj.neighbor, words.to_vec()));
+        }
+    }
+
+    /// Puts the node to sleep for the next `rounds` rounds; it wakes again at
+    /// round `current + rounds + 1`. `sleep_for(0)` is a no-op (awake next
+    /// round as usual).
+    pub fn sleep_for(&mut self, rounds: u64) {
+        if rounds > 0 {
+            self.request.wake_at = Some(self.round + rounds + 1);
+        }
+    }
+
+    /// Puts the node to sleep until the given round (it is next awake at
+    /// `round`). A target in the past or the immediate next round is a no-op.
+    pub fn sleep_until(&mut self, round: u64) {
+        if round > self.round + 1 {
+            self.request.wake_at = Some(round);
+        }
+    }
+
+    /// Halts this node: it stops participating in the protocol, consumes no
+    /// further energy, and the simulation ends when every node has halted.
+    pub fn halt(&mut self) {
+        self.request.halt = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::generators;
+
+    #[test]
+    fn context_send_and_broadcast_fill_outbox() {
+        let g = generators::star(4, 1);
+        let center = NodeId(0);
+        let mut ctx = NodeCtx::new(center, 4, 3, g.neighbors(center));
+        assert_eq!(ctx.node_id(), center);
+        assert_eq!(ctx.node_count(), 4);
+        assert_eq!(ctx.round(), 3);
+        assert_eq!(ctx.degree(), 3);
+        ctx.send(NodeId(2), &[42]);
+        ctx.broadcast(&[7]);
+        assert_eq!(ctx.request.outbox.len(), 4);
+        assert_eq!(ctx.request.outbox[0].1, NodeId(2));
+        assert_eq!(ctx.request.outbox[0].2, vec![42]);
+    }
+
+    #[test]
+    fn sleep_requests() {
+        let g = generators::path(3, 1);
+        let mut ctx = NodeCtx::new(NodeId(1), 3, 10, g.neighbors(NodeId(1)));
+        ctx.sleep_for(0);
+        assert_eq!(ctx.request.wake_at, None);
+        ctx.sleep_for(5);
+        assert_eq!(ctx.request.wake_at, Some(16));
+        ctx.sleep_until(12);
+        assert_eq!(ctx.request.wake_at, Some(12));
+        ctx.sleep_until(3);
+        assert_eq!(ctx.request.wake_at, Some(12), "past targets are ignored");
+        assert!(!ctx.request.halt);
+        ctx.halt();
+        assert!(ctx.request.halt);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a neighbour")]
+    fn sending_to_non_neighbor_panics() {
+        let g = generators::path(3, 1);
+        let mut ctx = NodeCtx::new(NodeId(0), 3, 0, g.neighbors(NodeId(0)));
+        ctx.send(NodeId(2), &[1]);
+    }
+
+    #[test]
+    fn send_prefers_lightest_parallel_edge() {
+        let g = congest_graph::Graph::from_edges(2, [(0, 1, 9), (0, 1, 2)]).unwrap();
+        let mut ctx = NodeCtx::new(NodeId(0), 2, 0, g.neighbors(NodeId(0)));
+        ctx.send(NodeId(1), &[1]);
+        let edge = ctx.request.outbox[0].0;
+        assert_eq!(g.edge(edge).w, 2);
+    }
+}

@@ -1,0 +1,65 @@
+//! Anatomy of one level of the paper's recursion (Section 2.3): run the
+//! approximate cutter on a weighted graph, show which nodes land in `V₁`
+//! (the overestimated half), solve the first half, and show the cut sources
+//! ("imaginary nodes") that seed the second half.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example cutter_anatomy
+//! ```
+
+use congest_sssp_suite::graph::{generators, sequential, Distance, NodeId};
+use congest_sssp_suite::sssp::approx::approximate_cssp;
+use congest_sssp_suite::sssp::{AlgoConfig, SourceOffset};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A weighted path makes the geometry of the cut easy to see.
+    let g = generators::path(16, 4); // distances 0, 4, 8, ..., 60
+    let source = NodeId(0);
+    let cfg = AlgoConfig::default();
+
+    let d = 32u64; // the current threshold of the recursion
+    let d1 = d / 2;
+
+    println!("threshold D = {d}, cutting at D/2 = {d1}\n");
+    let cut = approximate_cssp(&g, &[SourceOffset::plain(source)], d, &cfg)?;
+    let truth = sequential::dijkstra(&g, &[source]);
+
+    println!("{:>6} {:>8} {:>10} {:>6} {:>6}", "node", "dist", "estimate", "in V1", "in V2");
+    let include = cut.inclusion_threshold(d);
+    for v in g.nodes() {
+        let est = cut.estimates[v.index()];
+        let in_v1 = est <= include;
+        let in_v2 = truth.distance(v) <= Distance::Finite(d1);
+        println!(
+            "{:>6} {:>8} {:>10} {:>6} {:>6}",
+            v.to_string(),
+            truth.distance(v).to_string(),
+            est.to_string(),
+            in_v1,
+            in_v2
+        );
+    }
+    println!("\ncutter guarantees (Lemma 2.1): estimates overshoot by at most {}", cut.error_bound);
+    println!("cutter cost: {} rounds, max {} messages per edge", cut.metrics.rounds, cut.metrics.max_congestion());
+
+    // The cut sources of the second half: nodes just outside V2 adjacent to V2,
+    // with offsets measuring how far past the D/2 frontier the boundary edge
+    // reaches (the paper's imaginary nodes).
+    println!("\ncut sources for the second half (distance offsets past D/2):");
+    for v in g.nodes() {
+        let dist_v = truth.distance(v);
+        if dist_v > Distance::Finite(d1) {
+            continue;
+        }
+        for adj in g.neighbors(v) {
+            let du = truth.distance(adj.neighbor);
+            if du > Distance::Finite(d1) {
+                let offset = dist_v.expect_finite() + adj.weight - d1;
+                println!("  {} becomes a source with offset {}", adj.neighbor, offset);
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! Quickstart: build a small weighted network, run the paper's low-congestion
+//! SSSP on it, and print the distances together with the complexity metrics
+//! the paper bounds (rounds, messages, per-edge congestion).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use congest_sssp_suite::graph::{generators, sequential, NodeId};
+use congest_sssp_suite::sssp::cssp::sssp;
+use congest_sssp_suite::sssp::AlgoConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 6x6 grid with random integer weights in [1, 10].
+    let grid = generators::grid(6, 6, 1);
+    let g = generators::with_random_weights(&grid, 10, 42);
+    let source = NodeId(0);
+
+    let run = sssp(&g, source, &AlgoConfig::default())?;
+
+    // Cross-check against sequential Dijkstra (always passes; shown here so
+    // the example doubles as a correctness demo).
+    let truth = sequential::dijkstra(&g, &[source]);
+    assert_eq!(run.output.distances, truth.distances);
+
+    println!("single-source shortest paths from {source} on a 6x6 weighted grid");
+    println!("{:>6} {:>10}", "node", "distance");
+    for v in g.nodes() {
+        println!("{:>6} {:>10}", v.to_string(), run.distance(v).to_string());
+    }
+    println!();
+    println!("complexity of the distributed execution:");
+    println!("  rounds (time):        {}", run.metrics.rounds);
+    println!("  messages:             {}", run.metrics.messages);
+    println!("  max per-edge traffic:  {}", run.metrics.max_congestion());
+    println!("  recursion subproblems: {}", run.stats.subproblems);
+    println!("  max node participation: {}", run.stats.max_participation());
+    Ok(())
+}

@@ -1,0 +1,32 @@
+//! Umbrella crate for the `congest-sssp` workspace.
+//!
+//! This crate simply re-exports the member crates so that the repo-level
+//! `examples/` and `tests/` directories can use a single dependency:
+//!
+//! * [`graph`] — graph representation, generators, and sequential reference
+//!   algorithms ([`congest_graph`]).
+//! * [`sim`] — the synchronous CONGEST + sleeping-model simulator
+//!   ([`congest_sim`]).
+//! * [`cover`] — deterministic network decomposition and sparse neighborhood
+//!   covers ([`congest_cover`]).
+//! * [`sssp`] — the paper's algorithms: low-congestion CSSP/SSSP, low-energy
+//!   BFS/CSSP, APSP, and the baselines ([`congest_sssp`]).
+//!
+//! # Example
+//!
+//! ```
+//! use congest_sssp_suite::graph::generators;
+//! use congest_sssp_suite::sssp::cssp::sssp;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let g = generators::path(8, 1);
+//! let run = sssp(&g, congest_sssp_suite::graph::NodeId(0), &Default::default())?;
+//! assert_eq!(run.output.distance(congest_sssp_suite::graph::NodeId(7)).finite(), Some(7));
+//! # Ok(())
+//! # }
+//! ```
+
+pub use congest_cover as cover;
+pub use congest_graph as graph;
+pub use congest_sim as sim;
+pub use congest_sssp as sssp;

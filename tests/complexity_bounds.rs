@@ -1,0 +1,137 @@
+//! Integration tests for the complexity *shapes* the paper claims: polylog
+//! congestion for the recursive CSSP, polylog participation, polylog energy
+//! growth for the sleeping-model algorithms, and the APSP scheduling gain.
+
+use congest_sssp_suite::graph::{generators, NodeId};
+use congest_sssp_suite::sssp::apsp::{apsp, ApspConfig};
+use congest_sssp_suite::sssp::baseline::distributed_bellman_ford;
+use congest_sssp_suite::sssp::cssp::cssp;
+use congest_sssp_suite::sssp::energy::low_energy_bfs;
+use congest_sssp_suite::sssp::{bfs, AlgoConfig};
+
+fn log2(n: u32) -> f64 {
+    (n.max(2) as f64).log2()
+}
+
+/// Unit-weight path plus heavy shortcuts from the source: Bellman–Ford
+/// estimates improve Θ(n) times.
+fn adversarial(n: u32) -> congest_sssp_suite::graph::Graph {
+    let mut b = congest_sssp_suite::graph::Graph::builder(n);
+    for i in 0..n - 1 {
+        b.add_edge(i, i + 1, 1).unwrap();
+    }
+    for i in 2..n {
+        b.add_edge(0, i, 2 * i as u64).unwrap();
+    }
+    b.build()
+}
+
+#[test]
+fn cssp_congestion_is_polylog_while_bellman_ford_is_linear_on_adversarial_graphs() {
+    let cfg = AlgoConfig::default();
+    let small = adversarial(64);
+    let large = adversarial(192);
+    let paper_small = cssp(&small, &[NodeId(0)], &cfg).unwrap();
+    let paper_large = cssp(&large, &[NodeId(0)], &cfg).unwrap();
+    let bf_small = distributed_bellman_ford(&small, &[NodeId(0)], &cfg).unwrap();
+    let bf_large = distributed_bellman_ford(&large, &[NodeId(0)], &cfg).unwrap();
+    // Bellman–Ford's congestion tracks n (×3 here); the recursion's tracks
+    // log n · log D and grows far slower.
+    assert!(
+        bf_large.metrics.max_congestion() as f64 > 0.5 * 192.0,
+        "Bellman–Ford congestion {} should be Θ(n)",
+        bf_large.metrics.max_congestion()
+    );
+    let bf_growth =
+        bf_large.metrics.max_congestion() as f64 / bf_small.metrics.max_congestion() as f64;
+    let paper_growth =
+        paper_large.metrics.max_congestion() as f64 / paper_small.metrics.max_congestion() as f64;
+    assert!(bf_growth > 2.0, "Bellman–Ford congestion grew only {bf_growth}x for 3x nodes");
+    assert!(
+        paper_growth < bf_growth,
+        "recursion congestion growth {paper_growth} must stay below Bellman–Ford's {bf_growth}"
+    );
+    // And it is polylog: O(log n * log D) with a generous constant.
+    let levels = (large.distance_upper_bound() as f64).log2().ceil();
+    assert!(
+        (paper_large.metrics.max_congestion() as f64) < 8.0 * log2(192) * levels,
+        "congestion {} is not polylogarithmic",
+        paper_large.metrics.max_congestion()
+    );
+}
+
+#[test]
+fn cssp_messages_stay_near_linear_in_m() {
+    let cfg = AlgoConfig::default();
+    let g = generators::with_random_weights(&generators::random_connected(128, 256, 3), 16, 3);
+    let run = cssp(&g, &[NodeId(0)], &cfg).unwrap();
+    let m = g.edge_count() as f64;
+    let levels = (g.distance_upper_bound() as f64).log2().ceil();
+    assert!(
+        (run.metrics.messages as f64) < 10.0 * m * levels * log2(g.node_count()),
+        "messages {} should be Õ(m)",
+        run.metrics.messages
+    );
+}
+
+#[test]
+fn node_participation_grows_with_log_d_not_with_n() {
+    let cfg = AlgoConfig::default();
+    let small = generators::with_random_weights(&generators::random_connected(32, 64, 1), 8, 1);
+    let large = generators::with_random_weights(&generators::random_connected(256, 512, 1), 8, 1);
+    let run_small = cssp(&small, &[NodeId(0)], &cfg).unwrap();
+    let run_large = cssp(&large, &[NodeId(0)], &cfg).unwrap();
+    // n grew 8x; participation should grow far slower (it tracks log D).
+    let growth = run_large.stats.max_participation() as f64
+        / run_small.stats.max_participation().max(1) as f64;
+    assert!(growth < 4.0, "participation grew {growth}x while n grew 8x");
+}
+
+#[test]
+fn low_energy_bfs_energy_grows_sublinearly_in_the_diameter() {
+    // Over an 8x increase in diameter the always-awake baseline's energy
+    // grows ~8x, while the low-energy algorithm's energy tracks only the
+    // polylogarithmic cover constants.
+    let cfg = AlgoConfig::default();
+    let short = generators::path(128, 1);
+    let long = generators::path(1024, 1);
+    let low_short = low_energy_bfs(&short, &[NodeId(0)], 128, &cfg).unwrap();
+    let low_long = low_energy_bfs(&long, &[NodeId(0)], 1024, &cfg).unwrap();
+    let naive_short = bfs::bfs(&short, &[NodeId(0)], &cfg).unwrap();
+    let naive_long = bfs::bfs(&long, &[NodeId(0)], &cfg).unwrap();
+    let naive_growth =
+        naive_long.metrics.max_energy() as f64 / naive_short.metrics.max_energy() as f64;
+    let low_growth = low_long.metrics.max_energy() as f64 / low_short.metrics.max_energy() as f64;
+    assert!(naive_growth > 6.0, "the always-awake baseline tracks D (grew {naive_growth}x)");
+    assert!(
+        low_growth < 0.75 * naive_growth,
+        "low-energy growth {low_growth} must stay well below the baseline's {naive_growth}"
+    );
+}
+
+#[test]
+fn apsp_scheduling_beats_sequential_composition() {
+    let cfg = AlgoConfig::default();
+    let g = generators::with_random_weights(&generators::random_connected(28, 70, 2), 10, 2);
+    let run = apsp(&g, &cfg, &ApspConfig { seed: 3, ..ApspConfig::default() }).unwrap();
+    assert!(run.schedule.makespan < run.sequential_rounds / 2);
+    // Per-instance congestion stays small relative to the sequential cost —
+    // that is what makes concurrent scheduling possible.
+    assert!(run.max_instance_congestion < run.sequential_rounds / g.node_count() as u64);
+}
+
+#[test]
+fn metrics_are_internally_consistent() {
+    let cfg = AlgoConfig::default();
+    let g = generators::with_random_weights(&generators::random_connected(48, 96, 4), 9, 4);
+    let run = cssp(&g, &[NodeId(0)], &cfg).unwrap();
+    assert_eq!(run.metrics.node_energy.len(), g.node_count() as usize);
+    assert_eq!(run.metrics.edge_congestion.len(), g.edge_count() as usize);
+    assert_eq!(
+        run.metrics.messages,
+        run.metrics.edge_congestion.iter().sum::<u64>(),
+        "every message is attributed to exactly one edge"
+    );
+    assert!(run.metrics.rounds > 0);
+    assert!(run.metrics.max_energy() <= run.metrics.rounds, "a node cannot be awake more rounds than exist");
+}

@@ -1,0 +1,106 @@
+//! Cross-crate integration tests: every distributed algorithm is checked
+//! against the sequential ground truth over a matrix of topologies, weight
+//! ranges, and seeds.
+
+use congest_sssp_suite::graph::{generators, sequential, Graph, NodeId};
+use congest_sssp_suite::sssp::baseline::{distributed_bellman_ford, distributed_dijkstra};
+use congest_sssp_suite::sssp::cssp::cssp;
+use congest_sssp_suite::sssp::energy::{low_energy_bfs, low_energy_cssp};
+use congest_sssp_suite::sssp::{bfs, AlgoConfig};
+
+/// The workload matrix shared by the integration tests.
+fn workloads() -> Vec<(String, Graph)> {
+    let mut w = Vec::new();
+    w.push(("path".into(), generators::path(48, 3)));
+    w.push(("cycle".into(), generators::cycle(36, 5)));
+    w.push(("star".into(), generators::star(30, 7)));
+    w.push(("grid".into(), generators::with_random_weights(&generators::grid(6, 6, 1), 9, 1)));
+    w.push(("binary-tree".into(), generators::binary_tree(31, 2)));
+    w.push((
+        "barbell".into(),
+        generators::with_random_weights(&generators::barbell(8, 6, 1), 5, 2),
+    ));
+    w.push(("broom".into(), generators::broom(20, 10, 4)));
+    for seed in 0..3u64 {
+        w.push((
+            format!("random-{seed}"),
+            generators::with_random_weights(&generators::random_connected(40, 80, seed), 12, seed),
+        ));
+    }
+    w.push((
+        "disconnected".into(),
+        generators::disjoint_copies(&generators::random_connected(16, 24, 5), 3),
+    ));
+    w
+}
+
+#[test]
+fn recursive_cssp_matches_dijkstra_on_the_whole_matrix() {
+    let cfg = AlgoConfig::default();
+    for (name, g) in workloads() {
+        let sources = [NodeId(0)];
+        let run = cssp(&g, &sources, &cfg).unwrap();
+        let truth = sequential::dijkstra(&g, &sources);
+        assert_eq!(run.output.distances, truth.distances, "workload {name}");
+    }
+}
+
+#[test]
+fn recursive_cssp_matches_dijkstra_with_multiple_sources() {
+    let cfg = AlgoConfig::default();
+    for (name, g) in workloads() {
+        let n = g.node_count();
+        let sources = [NodeId(0), NodeId(n / 2), NodeId(n - 1)];
+        let run = cssp(&g, &sources, &cfg).unwrap();
+        let truth = sequential::dijkstra(&g, &sources);
+        assert_eq!(run.output.distances, truth.distances, "workload {name}");
+    }
+}
+
+#[test]
+fn baselines_agree_with_the_paper_algorithm() {
+    let cfg = AlgoConfig::default();
+    for (name, g) in workloads().into_iter().take(6) {
+        let sources = [NodeId(1)];
+        let paper = cssp(&g, &sources, &cfg).unwrap();
+        let bf = distributed_bellman_ford(&g, &sources, &cfg).unwrap();
+        let dj = distributed_dijkstra(&g, &sources, &cfg).unwrap();
+        assert_eq!(paper.output.distances, bf.output.distances, "workload {name}");
+        assert_eq!(paper.output.distances, dj.output.distances, "workload {name}");
+    }
+}
+
+#[test]
+fn low_energy_bfs_agrees_with_always_awake_bfs() {
+    let cfg = AlgoConfig::default();
+    for (name, g) in workloads().into_iter().take(8) {
+        let sources = [NodeId(0)];
+        let limit = g.node_count() as u64;
+        let low = low_energy_bfs(&g, &sources, limit, &cfg).unwrap();
+        let naive = bfs::bfs(&g, &sources, &cfg).unwrap();
+        assert_eq!(low.output.distances, naive.output.distances, "workload {name}");
+    }
+}
+
+#[test]
+fn low_energy_cssp_matches_dijkstra_on_weighted_graphs() {
+    let cfg = AlgoConfig::default();
+    for (name, g) in workloads().into_iter().take(5) {
+        let sources = [NodeId(0)];
+        let run = low_energy_cssp(&g, &sources, &cfg).unwrap();
+        let truth = sequential::dijkstra(&g, &sources);
+        assert_eq!(run.output.distances, truth.distances, "workload {name}");
+    }
+}
+
+#[test]
+fn zero_weight_graphs_are_handled_end_to_end() {
+    let cfg = AlgoConfig::default();
+    for seed in 0..3u64 {
+        let g = generators::with_random_weights_zero(&generators::random_connected(30, 60, seed), 5, seed);
+        let sources = [NodeId(0), NodeId(15)];
+        let run = cssp(&g, &sources, &cfg).unwrap();
+        let truth = sequential::dijkstra(&g, &sources);
+        assert_eq!(run.output.distances, truth.distances, "seed {seed}");
+    }
+}

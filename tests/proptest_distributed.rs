@@ -1,0 +1,74 @@
+//! Property-based integration tests: on arbitrary seeded random weighted
+//! graphs, the distributed algorithms agree with the sequential references
+//! and respect the model's accounting invariants.
+
+use congest_sssp_suite::graph::{generators, sequential, Graph, NodeId};
+use congest_sssp_suite::sssp::cssp::cssp;
+use congest_sssp_suite::sssp::energy::low_energy_bfs;
+use congest_sssp_suite::sssp::{bfs, AlgoConfig};
+use proptest::prelude::*;
+
+fn arbitrary_weighted_graph() -> impl Strategy<Value = (Graph, NodeId)> {
+    (3u32..40, 0u64..80, 0u64..10_000, 1u64..32).prop_map(|(n, extra, seed, max_w)| {
+        let g = generators::random_connected(n, extra, seed);
+        let g = generators::with_random_weights(&g, max_w, seed ^ 0xfeed);
+        (g, NodeId((seed % n as u64) as u32))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The paper's recursive CSSP is exact on arbitrary weighted inputs.
+    #[test]
+    fn recursive_cssp_is_exact((g, src) in arbitrary_weighted_graph()) {
+        let run = cssp(&g, &[src], &AlgoConfig::default()).unwrap();
+        let truth = sequential::dijkstra(&g, &[src]);
+        prop_assert_eq!(run.output.distances, truth.distances);
+    }
+
+    /// Congestion accounting: the sum of per-edge congestion equals the total
+    /// message count, and congestion on every edge is at least 0 (trivially)
+    /// and bounded by the total.
+    #[test]
+    fn congestion_accounting_is_consistent((g, src) in arbitrary_weighted_graph()) {
+        let run = cssp(&g, &[src], &AlgoConfig::default()).unwrap();
+        let sum: u64 = run.metrics.edge_congestion.iter().sum();
+        prop_assert_eq!(sum, run.metrics.messages);
+        prop_assert!(run.metrics.max_congestion() <= run.metrics.messages);
+    }
+
+    /// The distributed BFS protocol agrees with sequential BFS and its energy
+    /// equals its round count for every node that exists from start to end.
+    #[test]
+    fn distributed_bfs_is_exact((g, src) in arbitrary_weighted_graph()) {
+        let run = bfs::bfs(&g, &[src], &AlgoConfig::default()).unwrap();
+        let truth = sequential::bfs(&g, &[src]);
+        prop_assert_eq!(&run.output.distances, &truth.distances);
+        prop_assert!(run.metrics.max_energy() <= run.metrics.rounds);
+    }
+
+    /// The low-energy BFS computes the same distances as the always-awake BFS
+    /// and never reports more awake rounds than the total round count.
+    #[test]
+    fn low_energy_bfs_is_exact((g, src) in arbitrary_weighted_graph()) {
+        let limit = g.node_count() as u64;
+        let low = low_energy_bfs(&g, &[src], limit, &AlgoConfig::default()).unwrap();
+        let truth = sequential::bfs(&g, &[src]);
+        prop_assert_eq!(&low.output.distances, &truth.distances);
+        prop_assert!(low.metrics.max_energy() <= low.metrics.rounds);
+    }
+
+    /// Multi-source CSSP equals the pointwise minimum over single-source runs.
+    #[test]
+    fn multi_source_is_pointwise_min((g, src) in arbitrary_weighted_graph()) {
+        let other = NodeId((src.0 + 1) % g.node_count());
+        let cfg = AlgoConfig::default();
+        let multi = cssp(&g, &[src, other], &cfg).unwrap();
+        let a = cssp(&g, &[src], &cfg).unwrap();
+        let b = cssp(&g, &[other], &cfg).unwrap();
+        for v in g.nodes() {
+            prop_assert_eq!(multi.distance(v), a.distance(v).min(b.distance(v)));
+        }
+    }
+}
