@@ -75,7 +75,14 @@ fn main() {
     for r in &e6 {
         println!(
             "| {} | {} | {} | {} | {} | {:.1} | {} | {} |",
-            r.algorithm, r.n, r.diameter, r.rounds, r.max_energy, r.mean_energy, r.megaround, r.cover_levels
+            r.algorithm,
+            r.n,
+            r.diameter,
+            r.rounds,
+            r.max_energy,
+            r.mean_energy,
+            r.megaround,
+            r.cover_levels
         );
     }
 
@@ -122,7 +129,14 @@ fn main() {
     for r in &e9 {
         println!(
             "| {} | {} | {} | {} | {} | {} | {} | {} |",
-            r.n, r.m, r.components, r.phases, r.rounds, r.max_congestion, r.low_energy_max, r.always_awake_max
+            r.n,
+            r.m,
+            r.components,
+            r.phases,
+            r.rounds,
+            r.max_congestion,
+            r.low_energy_max,
+            r.always_awake_max
         );
     }
 
@@ -133,16 +147,28 @@ fn main() {
     for r in &e10 {
         println!(
             "| {} | {} | {} | {} | {} | {:.2} |",
-            r.n, r.levels, r.subproblems, r.max_participation, r.total_subproblem_size, r.normalized_total
+            r.n,
+            r.levels,
+            r.subproblems,
+            r.max_participation,
+            r.total_subproblem_size,
+            r.normalized_total
         );
     }
 
     if json {
-        let dump = serde_json::json!({
-            "e1_e3": e1, "e4": e4, "e5": e5, "e6": e6, "e7": e7,
-            "e8": e8, "e9": e9, "e10": e10,
-        });
+        use congest_bench::json::{array, object};
+        let dump = object(&[
+            ("e1_e3", array(&e1)),
+            ("e4", array(&e4)),
+            ("e5", array(&e5)),
+            ("e6", array(&e6)),
+            ("e7", array(&e7)),
+            ("e8", array(&e8)),
+            ("e9", array(&e9)),
+            ("e10", array(&e10)),
+        ]);
         println!("\n## JSON\n");
-        println!("{}", serde_json::to_string_pretty(&dump).expect("serializable rows"));
+        println!("{dump}");
     }
 }

@@ -10,6 +10,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+
 use congest_cover::sparse_cover::SparseCover;
 use congest_graph::{generators, properties, Graph, NodeId};
 use congest_sssp::apsp::{apsp, ApspConfig};
@@ -405,7 +407,11 @@ pub fn e8_cover_quality(scale: Scale) -> Vec<CoverRow> {
     let sizes = scale.pick(&quick, &full);
     let mut rows = Vec::new();
     for &n in sizes {
-        let g = generators::random_connected(n, 2 * n as u64, 5);
+        // Sparse workload: with ~2n extra edges the hop diameter collapses
+        // below the largest cover radius d = 4 and every cluster tree is
+        // shallower than d, which makes "stretch" meaningless. n/4 extra
+        // edges keeps the diameter comfortably above 2d at every size.
+        let g = generators::random_connected(n, n as u64 / 4, 5);
         for d in [1u64, 2, 4] {
             let cover = SparseCover::construct(&g, d);
             let stats = cover.validate(&g).expect("constructed covers are valid");

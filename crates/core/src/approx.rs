@@ -74,10 +74,8 @@ pub fn approximate_cssp(
         num.div_ceil(inv as u128 * n as u128) as u64
     };
     let weights: Vec<Weight> = g.edges().iter().map(|e| scale(e.w)).collect();
-    let scaled_sources: Vec<SourceOffset> = sources
-        .iter()
-        .map(|s| SourceOffset { node: s.node, offset: scale(s.offset) })
-        .collect();
+    let scaled_sources: Vec<SourceOffset> =
+        sources.iter().map(|s| SourceOffset { node: s.node, offset: scale(s.offset) }).collect();
     // Nodes with true (offset) distance <= 2W have scaled distance at most
     // 2*inv*n + n + 1 (one +1 per path edge plus one for the offset), so this
     // round limit retains all of them.
@@ -138,7 +136,11 @@ mod tests {
     fn cutter_guarantees_on_random_weighted_graphs() {
         let cfg = AlgoConfig::default();
         for seed in 0..4 {
-            let g = generators::with_random_weights(&generators::random_connected(30, 50, seed), 20, seed);
+            let g = generators::with_random_weights(
+                &generators::random_connected(30, 50, seed),
+                20,
+                seed,
+            );
             let w_max = g.distance_upper_bound() / 4 + 1;
             check_cutter(&g, &[NodeId(0)], w_max, &cfg);
         }

@@ -44,7 +44,7 @@ pub struct ApspRun {
 }
 
 /// Configuration of the APSP scheduling experiment.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ApspConfig {
     /// Per-round per-edge message budget of the concurrent schedule (the
     /// `O(log n)` factor of the scheduling theorem).
@@ -55,12 +55,6 @@ pub struct ApspConfig {
     /// Seed for the random delays (the only randomness in the whole APSP
     /// algorithm, as the paper emphasizes).
     pub seed: u64,
-}
-
-impl Default for ApspConfig {
-    fn default() -> Self {
-        ApspConfig { edge_budget_per_round: 0, max_delay: None, seed: 0 }
-    }
 }
 
 /// Computes APSP: one SSSP per source plus random-delay scheduling.
@@ -100,11 +94,7 @@ pub fn apsp(
     let max_delay = apsp_config.max_delay.unwrap_or(n as u64).max(1);
     let schedule = random_delay_schedule(
         &traces,
-        &ScheduleConfig {
-            edge_capacity_per_round: budget,
-            max_delay,
-            seed: apsp_config.seed,
-        },
+        &ScheduleConfig { edge_capacity_per_round: budget, max_delay, seed: apsp_config.seed },
     );
     let sequential_rounds = instance_rounds.iter().sum();
 

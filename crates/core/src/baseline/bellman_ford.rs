@@ -104,7 +104,11 @@ mod tests {
     fn bellman_ford_matches_dijkstra() {
         let cfg = AlgoConfig::default();
         for seed in 0..3 {
-            let g = generators::with_random_weights(&generators::random_connected(30, 60, seed), 9, seed);
+            let g = generators::with_random_weights(
+                &generators::random_connected(30, 60, seed),
+                9,
+                seed,
+            );
             let run = distributed_bellman_ford(&g, &[NodeId(0)], &cfg).unwrap();
             let truth = sequential::dijkstra(&g, &[NodeId(0)]);
             for v in g.nodes() {
@@ -148,10 +152,7 @@ mod tests {
     fn rejects_bad_sources() {
         let cfg = AlgoConfig::default();
         let g = generators::path(3, 1);
-        assert!(matches!(
-            distributed_bellman_ford(&g, &[], &cfg),
-            Err(AlgoError::EmptySourceSet)
-        ));
+        assert!(matches!(distributed_bellman_ford(&g, &[], &cfg), Err(AlgoError::EmptySourceSet)));
         assert!(matches!(
             distributed_bellman_ford(&g, &[NodeId(5)], &cfg),
             Err(AlgoError::SourceOutOfRange { .. })

@@ -43,13 +43,7 @@ pub fn distributed_dijkstra(
     // global minimum" convergecast runs over). Its construction costs one BFS.
     let bfs = congest_graph::sequential::bfs(g, sources);
     let forest = congest_graph::sequential::spanning_forest(g);
-    let tree_depth = bfs
-        .distances
-        .iter()
-        .filter_map(|d| d.finite())
-        .max()
-        .unwrap_or(0)
-        .max(1);
+    let tree_depth = bfs.distances.iter().filter_map(|d| d.finite()).max().unwrap_or(0).max(1);
     metrics.rounds += tree_depth + 1;
     for e in 0..m {
         metrics.edge_congestion[e] += 1;
@@ -69,9 +63,8 @@ pub fn distributed_dijkstra(
         // Global minimum search: one convergecast + one broadcast over the
         // coordination tree (2 * depth rounds, 2 messages per tree edge, every
         // node awake for the duration).
-        let next = (0..n)
-            .filter(|&v| !visited[v] && dist[v].is_finite())
-            .min_by_key(|&v| (dist[v], v));
+        let next =
+            (0..n).filter(|&v| !visited[v] && dist[v].is_finite()).min_by_key(|&v| (dist[v], v));
         let Some(v) = next else { break };
         let coordination_rounds = 2 * tree_depth + 2;
         metrics.rounds += coordination_rounds;
@@ -109,7 +102,11 @@ mod tests {
     fn distances_match_sequential_dijkstra() {
         let cfg = AlgoConfig::default();
         for seed in 0..3 {
-            let g = generators::with_random_weights(&generators::random_connected(40, 70, seed), 11, seed);
+            let g = generators::with_random_weights(
+                &generators::random_connected(40, 70, seed),
+                11,
+                seed,
+            );
             let run = distributed_dijkstra(&g, &[NodeId(0)], &cfg).unwrap();
             let truth = sequential::dijkstra(&g, &[NodeId(0)]);
             assert_eq!(run.output.distances, truth.distances, "seed {seed}");

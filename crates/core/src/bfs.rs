@@ -134,10 +134,7 @@ mod tests {
         let sources = [NodeId(0), NodeId(41), NodeId(20)];
         let run = bfs(&g, &sources, &cfg).unwrap();
         let expected = sequential::bfs(&g, &sources);
-        assert_eq!(
-            run.output.distances,
-            expected.distances
-        );
+        assert_eq!(run.output.distances, expected.distances);
     }
 
     #[test]

@@ -82,10 +82,8 @@ pub fn cssp(g: &Graph, sources: &[NodeId], config: &AlgoConfig) -> Result<CsspRu
     let run = thresholded_cssp(&contraction.graph, &super_sources, threshold, config)?;
 
     // Distances: every original node inherits its supernode's distance.
-    let distances: Vec<Distance> = g
-        .nodes()
-        .map(|v| run.output.distance(contraction.super_of[v.index()]))
-        .collect();
+    let distances: Vec<Distance> =
+        g.nodes().map(|v| run.output.distance(contraction.super_of[v.index()])).collect();
     // Metrics: attribute supernode costs to representative original nodes and
     // contracted-edge costs to the original edge they came from.
     let metrics = run.metrics.remap(
@@ -159,14 +157,14 @@ fn contract_zero_weight(g: &Graph) -> Contraction {
     let mut super_index: BTreeMap<usize, u32> = BTreeMap::new();
     let mut representative: Vec<NodeId> = Vec::new();
     let mut super_of = vec![NodeId(0); n];
-    for v in 0..n {
+    for (v, sup) in super_of.iter_mut().enumerate() {
         let root = find(&mut parent, v);
         let next_id = super_index.len() as u32;
         let id = *super_index.entry(root).or_insert_with(|| {
             representative.push(NodeId(root as u32));
             next_id
         });
-        super_of[v] = NodeId(id);
+        *sup = NodeId(id);
     }
     let mut builder = Graph::builder(super_index.len() as u32);
     let mut edge_origin = Vec::new();
@@ -201,7 +199,11 @@ mod tests {
     #[test]
     fn sssp_matches_dijkstra_on_weighted_random_graphs() {
         for seed in 0..5 {
-            let g = generators::with_random_weights(&generators::random_connected(35, 60, seed), 12, seed);
+            let g = generators::with_random_weights(
+                &generators::random_connected(35, 60, seed),
+                12,
+                seed,
+            );
             check_cssp(&g, &[NodeId(0)]);
         }
     }
@@ -244,7 +246,11 @@ mod tests {
     #[test]
     fn zero_weight_random_graphs_match_dijkstra() {
         for seed in 0..3 {
-            let g = generators::with_random_weights_zero(&generators::random_connected(30, 50, seed), 6, seed);
+            let g = generators::with_random_weights_zero(
+                &generators::random_connected(30, 50, seed),
+                6,
+                seed,
+            );
             check_cssp(&g, &[NodeId(0), NodeId(10)]);
         }
     }

@@ -110,12 +110,8 @@ pub fn low_energy_bfs_with_cover(
     let levels = cover.level_count();
     // Megaround width: maximum number of cluster trees sharing one edge,
     // summed over levels (Section 3.1.3: all tree subroutines share edges).
-    let megaround: u64 = cover
-        .levels
-        .iter()
-        .map(|lvl| lvl.stats().max_edge_tree_load as u64)
-        .sum::<u64>()
-        .max(1);
+    let megaround: u64 =
+        cover.levels.iter().map(|lvl| lvl.stats().max_edge_tree_load as u64).sum::<u64>().max(1);
 
     // Slowdown: the wavefront must advance slowly enough that an activation
     // signal (latency of the parent cluster's schedule) always beats the
@@ -163,11 +159,7 @@ pub fn low_energy_bfs_with_cover(
         let mut active_from = vec![init_end; lvl.clusters.len()];
         for (ci, c) in lvl.clusters.iter().enumerate() {
             // Reached time: first member hit by the (thresholded) wavefront.
-            let first_hit = c
-                .members
-                .iter()
-                .filter_map(|&v| distances[v.index()].finite())
-                .min();
+            let first_hit = c.members.iter().filter_map(|&v| distances[v.index()].finite()).min();
             reached[ci] = first_hit.map(|h| init_end + h * slowdown);
             if j + 1 == levels {
                 relevant[ci] = c.members.iter().any(|&v| is_source[v.index()]);
@@ -408,11 +400,8 @@ mod tests {
         // Force a slowdown of effectively 1 with no safety factor on a long
         // path: the activation signal cannot keep up on deep cluster trees.
         let g = generators::path(120, 1);
-        let cfg = AlgoConfig {
-            min_bfs_slowdown: 1,
-            slowdown_safety_factor: 1,
-            ..AlgoConfig::default()
-        };
+        let cfg =
+            AlgoConfig { min_bfs_slowdown: 1, slowdown_safety_factor: 1, ..AlgoConfig::default() };
         // Build a cover whose top level is tiny so that latencies are huge
         // relative to the buffer: base 2 gives shallow buffers.
         let cover = LayeredCover::construct(&g, 119, 2);
@@ -458,10 +447,8 @@ mod tests {
         // Nodes of the sourceless component belong only to irrelevant
         // clusters: their energy is the initialization cost only, strictly
         // below the reached component's nodes.
-        let reached_max =
-            (0..20).map(|v| run.metrics.node_energy[v]).max().unwrap();
-        let dormant_max =
-            (20..40).map(|v| run.metrics.node_energy[v]).max().unwrap();
+        let reached_max = (0..20).map(|v| run.metrics.node_energy[v]).max().unwrap();
+        let dormant_max = (20..40).map(|v| run.metrics.node_energy[v]).max().unwrap();
         assert!(dormant_max <= reached_max);
     }
 }

@@ -86,12 +86,8 @@ pub fn low_energy_cssp(
     // the rounded graph). Its measured parameters drive the energy charges.
     let cover = LayeredCover::construct_default(g, g.node_count() as u64);
     let levels = cover.level_count();
-    let megaround: u64 = cover
-        .levels
-        .iter()
-        .map(|lvl| lvl.stats().max_edge_tree_load as u64)
-        .sum::<u64>()
-        .max(1);
+    let megaround: u64 =
+        cover.levels.iter().map(|lvl| lvl.stats().max_edge_tree_load as u64).sum::<u64>().max(1);
     // Awake rounds a node spends per low-energy thresholded BFS: a constant
     // number of awake rounds per period per cluster it belongs to, over the
     // activation window of O(B) periods at each level, plus initialization —
@@ -189,7 +185,11 @@ mod tests {
     #[test]
     fn distances_are_exact() {
         for seed in 0..3 {
-            let g = generators::with_random_weights(&generators::random_connected(30, 45, seed), 8, seed);
+            let g = generators::with_random_weights(
+                &generators::random_connected(30, 45, seed),
+                8,
+                seed,
+            );
             check(&g, &[NodeId(0)]);
         }
     }

@@ -95,7 +95,8 @@ mod tests {
             .to_string()
             .contains("2 entries"));
         assert!(AlgoError::ZeroWeightNotSupported { edge: EdgeId(1) }.to_string().contains("e1"));
-        let sim = AlgoError::Simulation(SimError::RoundLimitExceeded { limit: 5, unhalted_nodes: 1 });
+        let sim =
+            AlgoError::Simulation(SimError::RoundLimitExceeded { limit: 5, unhalted_nodes: 1 });
         assert!(sim.to_string().contains("simulation failed"));
         assert!(Error::source(&sim).is_some());
         let wake = AlgoError::WakeScheduleViolation { level: 1, reached_at: 10, awake_at: 20 };

@@ -227,10 +227,7 @@ mod tests {
         let expected = sequential::connected_components(g);
         assert_eq!(forest.component_count, expected.component_count);
         // The forest has exactly n - #components edges and spans components.
-        assert_eq!(
-            forest.tree_edges.len(),
-            g.node_count() as usize - expected.component_count
-        );
+        assert_eq!(forest.tree_edges.len(), g.node_count() as usize - expected.component_count);
         for v in g.nodes() {
             assert!(expected.same_component(v, forest.roots[v.index()]));
             match forest.parents[v.index()] {

@@ -213,23 +213,28 @@ fn solve(
     }
 
     let (sub, node_map, edge_map) = induced_with_maps(g, nodes);
-    let to_sub: BTreeMap<NodeId, NodeId> = node_map
-        .iter()
-        .enumerate()
-        .map(|(i, &orig)| (orig, NodeId(i as u32)))
-        .collect();
+    let to_sub: BTreeMap<NodeId, NodeId> =
+        node_map.iter().enumerate().map(|(i, &orig)| (orig, NodeId(i as u32))).collect();
 
     // Step 1: spanning forest for per-component coordination (Theorem 2.2).
     let (_forest, forest_metrics) = spanning_forest(&sub, false);
-    acc.add_phase(&forest_metrics.remap(&node_map, &edge_map, g.node_count() as usize, g.edge_count() as usize));
+    acc.add_phase(&forest_metrics.remap(
+        &node_map,
+        &edge_map,
+        g.node_count() as usize,
+        g.edge_count() as usize,
+    ));
 
     // Step 2: approximate cutter with W = d (Lemma 2.1).
-    let sub_sources: Vec<SourceOffset> = sources
-        .iter()
-        .map(|s| SourceOffset { node: to_sub[&s.node], offset: s.offset })
-        .collect();
+    let sub_sources: Vec<SourceOffset> =
+        sources.iter().map(|s| SourceOffset { node: to_sub[&s.node], offset: s.offset }).collect();
     let cut = approximate_cssp(&sub, &sub_sources, d, config)?;
-    acc.add_phase(&cut.metrics.remap(&node_map, &edge_map, g.node_count() as usize, g.edge_count() as usize));
+    acc.add_phase(&cut.metrics.remap(
+        &node_map,
+        &edge_map,
+        g.node_count() as usize,
+        g.edge_count() as usize,
+    ));
 
     // Step 3: V1 = nodes whose estimate is within d + err.
     let include = cut.inclusion_threshold(d);
@@ -260,10 +265,7 @@ fn solve(
                 let through = dist_v + adj.weight;
                 debug_assert!(through > d1, "u would have distance <= d1 and belong to V2");
                 let offset = through - d1;
-                cut_offsets
-                    .entry(u)
-                    .and_modify(|o| *o = (*o).min(offset))
-                    .or_insert(offset);
+                cut_offsets.entry(u).and_modify(|o| *o = (*o).min(offset)).or_insert(offset);
             }
         }
     }
@@ -272,10 +274,7 @@ fn solve(
     for s in &sources {
         if s.offset > d1 && rest.contains(&s.node) {
             let offset = s.offset - d1;
-            cut_offsets
-                .entry(s.node)
-                .and_modify(|o| *o = (*o).min(offset))
-                .or_insert(offset);
+            cut_offsets.entry(s.node).and_modify(|o| *o = (*o).min(offset)).or_insert(offset);
         }
     }
     let second_sources: Vec<SourceOffset> =
@@ -374,7 +373,11 @@ mod tests {
     #[test]
     fn full_threshold_matches_dijkstra_on_random_graphs() {
         for seed in 0..4 {
-            let g = generators::with_random_weights(&generators::random_connected(30, 45, seed), 8, seed);
+            let g = generators::with_random_weights(
+                &generators::random_connected(30, 45, seed),
+                8,
+                seed,
+            );
             check_thresholded(&g, &[NodeId(0)], g.distance_upper_bound());
         }
     }
@@ -465,9 +468,6 @@ mod tests {
     fn empty_sources_rejected() {
         let g = generators::path(3, 1);
         let cfg = AlgoConfig::default();
-        assert!(matches!(
-            thresholded_cssp(&g, &[], 10, &cfg),
-            Err(AlgoError::EmptySourceSet)
-        ));
+        assert!(matches!(thresholded_cssp(&g, &[], 10, &cfg), Err(AlgoError::EmptySourceSet)));
     }
 }

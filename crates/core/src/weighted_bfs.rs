@@ -134,10 +134,15 @@ mod tests {
     fn waiting_bfs_computes_weighted_distances() {
         let cfg = AlgoConfig::default();
         for seed in 0..3 {
-            let g = generators::with_random_weights(&generators::random_connected(25, 35, seed), 6, seed);
+            let g = generators::with_random_weights(
+                &generators::random_connected(25, 35, seed),
+                6,
+                seed,
+            );
             let limit = g.distance_upper_bound() + 1;
-            let run = waiting_bfs(&g, &[SourceOffset::plain(NodeId(0))], &graph_weights(&g), limit, &cfg)
-                .unwrap();
+            let run =
+                waiting_bfs(&g, &[SourceOffset::plain(NodeId(0))], &graph_weights(&g), limit, &cfg)
+                    .unwrap();
             let expected = sequential::dijkstra(&g, &[NodeId(0)]);
             for v in g.nodes() {
                 assert_eq!(run.distance(v), expected.distance(v), "seed {seed} node {v}");
@@ -163,8 +168,8 @@ mod tests {
     fn limit_truncates_far_nodes() {
         let cfg = AlgoConfig::default();
         let g = generators::path(10, 3);
-        let run =
-            waiting_bfs(&g, &[SourceOffset::plain(NodeId(0))], &graph_weights(&g), 9, &cfg).unwrap();
+        let run = waiting_bfs(&g, &[SourceOffset::plain(NodeId(0))], &graph_weights(&g), 9, &cfg)
+            .unwrap();
         assert_eq!(run.distance(NodeId(3)).finite(), Some(9));
         assert!(run.distance(NodeId(4)).is_infinite());
         assert!(run.metrics.rounds <= 12);

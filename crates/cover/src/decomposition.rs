@@ -140,9 +140,8 @@ pub fn separated_decomposition(g: &Graph, k: u64) -> Decomposition {
             let (dist, parent) = hop_bfs_with_parents(g, center);
             // A node is claimable if it is unassigned, not deferred, and
             // reachable from the center.
-            let claimable: Vec<bool> = (0..n)
-                .map(|v| !assigned[v] && !deferred[v] && dist[v].is_some())
-                .collect();
+            let claimable: Vec<bool> =
+                (0..n).map(|v| !assigned[v] && !deferred[v] && dist[v].is_some()).collect();
             // Grow the radius in steps of k until the next shell does not
             // double the claimable ball.
             let mut radius = 0u64;
@@ -238,12 +237,8 @@ mod tests {
                     let ca = d.cluster(a);
                     let cb = d.cluster(b);
                     let dist = multi_source_hops(g, &ca.members);
-                    let min_gap = cb
-                        .members
-                        .iter()
-                        .filter_map(|v| dist[v.index()])
-                        .min()
-                        .unwrap_or(u64::MAX);
+                    let min_gap =
+                        cb.members.iter().filter_map(|v| dist[v.index()]).min().unwrap_or(u64::MAX);
                     assert!(
                         min_gap > k,
                         "same-color clusters {a} and {b} are only {min_gap} <= {k} apart"

@@ -88,11 +88,8 @@ impl LayeredCover {
         let mut parents = Vec::new();
         for j in 0..levels.len().saturating_sub(1) {
             let upper = &levels[j + 1];
-            let links: Vec<ClusterId> = levels[j]
-                .clusters
-                .iter()
-                .map(|c| upper.home[c.center.index()])
-                .collect();
+            let links: Vec<ClusterId> =
+                levels[j].clusters.iter().map(|c| upper.home[c.center.index()]).collect();
             parents.push(links);
         }
         LayeredCover { base, target, levels, parents }
@@ -121,7 +118,7 @@ impl LayeredCover {
                 let parent = upper.cluster(pid);
                 let dist = multi_source_hops(g, &c.members);
                 for u in g.nodes() {
-                    if dist[u.index()].map_or(false, |x| x <= reach) && !parent.contains(u) {
+                    if dist[u.index()].is_some_and(|x| x <= reach) && !parent.contains(u) {
                         return Err(CoverError::BallNotCovered { node: c.center, missing: u });
                     }
                 }

@@ -122,13 +122,7 @@ impl SparseCover {
             for &v in &members {
                 membership[v.index()].push(id);
             }
-            clusters.push(Cluster {
-                id,
-                color: c.color,
-                center: c.center,
-                members,
-                tree,
-            });
+            clusters.push(Cluster { id, color: c.color, center: c.center, members, tree });
         }
         SparseCover {
             d,
@@ -232,7 +226,7 @@ impl SparseCover {
             let home = self.home_of(v);
             let dist = multi_source_hops(g, &[v]);
             for u in g.nodes() {
-                if dist[u.index()].map_or(false, |x| x <= self.d) && !home.contains(u) {
+                if dist[u.index()].is_some_and(|x| x <= self.d) && !home.contains(u) {
                     return Err(CoverError::BallNotCovered { node: v, missing: u });
                 }
             }
@@ -266,10 +260,8 @@ fn expand_cluster(g: &Graph, c: &Cluster, d: u64) -> (Vec<NodeId>, ClusterTree) 
             }
         }
     }
-    let members: Vec<NodeId> = (0..n)
-        .filter(|&v| dist[v].map_or(false, |x| x <= d))
-        .map(|v| NodeId(v as u32))
-        .collect();
+    let members: Vec<NodeId> =
+        (0..n).filter(|&v| dist[v].is_some_and(|x| x <= d)).map(|v| NodeId(v as u32)).collect();
     // Extend the tree: new nodes hang below the member they were discovered
     // from (depths continue below that member's tree depth).
     let mut tree = c.tree.clone();
@@ -362,7 +354,7 @@ mod tests {
             let home = cover.home_of(v);
             let dist = multi_source_hops(&g, &[v]);
             for u in g.nodes() {
-                if dist[u.index()].map_or(false, |x| x <= 3) {
+                if dist[u.index()].is_some_and(|x| x <= 3) {
                     assert!(home.contains(u));
                 }
             }

@@ -20,11 +20,12 @@ use crate::Weight;
 /// assert!(d < Distance::Infinite);
 /// assert_eq!(Distance::Infinite + 10, Distance::Infinite);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum Distance {
     /// A finite distance value.
     Finite(Weight),
     /// Unreachable / not yet reached.
+    #[default]
     Infinite,
 }
 
@@ -92,12 +93,6 @@ impl Distance {
         } else {
             other
         }
-    }
-}
-
-impl Default for Distance {
-    fn default() -> Self {
-        Distance::Infinite
     }
 }
 
@@ -173,10 +168,7 @@ mod tests {
             Distance::Finite(u64::MAX),
             "finite addition saturates instead of overflowing"
         );
-        assert_eq!(
-            Distance::Finite(1) + Distance::Infinite,
-            Distance::Infinite
-        );
+        assert_eq!(Distance::Finite(1) + Distance::Infinite, Distance::Infinite);
     }
 
     #[test]

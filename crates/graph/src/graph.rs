@@ -220,11 +220,7 @@ impl Graph {
 
     /// The minimum weight among edges directly connecting `u` and `v`, if any.
     pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<Weight> {
-        self.adjacency[u.index()]
-            .iter()
-            .filter(|a| a.neighbor == v)
-            .map(|a| a.weight)
-            .min()
+        self.adjacency[u.index()].iter().filter(|a| a.neighbor == v).map(|a| a.weight).min()
     }
 
     /// An upper bound `n * max_weight` on any finite shortest-path distance,
@@ -388,8 +384,8 @@ mod tests {
 
     #[test]
     fn induced_subgraph_renumbers_and_keeps_internal_edges() {
-        let g = Graph::from_edges(5, [(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 4, 4), (0, 4, 5)])
-            .unwrap();
+        let g =
+            Graph::from_edges(5, [(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 4, 4), (0, 4, 5)]).unwrap();
         let keep: BTreeSet<NodeId> = [NodeId(1), NodeId(2), NodeId(3)].into_iter().collect();
         let (sub, map) = g.induced_subgraph(&keep);
         assert_eq!(sub.node_count(), 3);

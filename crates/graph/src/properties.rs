@@ -13,12 +13,7 @@ pub fn is_connected(g: &Graph) -> bool {
 /// The hop eccentricity of `v`: the maximum hop distance from `v` to any node
 /// reachable from it.
 pub fn hop_eccentricity(g: &Graph, v: NodeId) -> u64 {
-    sequential::bfs(g, &[v])
-        .distances
-        .iter()
-        .filter_map(|d| d.finite())
-        .max()
-        .unwrap_or(0)
+    sequential::bfs(g, &[v]).distances.iter().filter_map(|d| d.finite()).max().unwrap_or(0)
 }
 
 /// The hop diameter `D` of the graph: the maximum hop eccentricity over all
@@ -31,12 +26,7 @@ pub fn hop_diameter(g: &Graph) -> u64 {
 
 /// The weighted eccentricity of `v` (maximum finite weighted distance).
 pub fn weighted_eccentricity(g: &Graph, v: NodeId) -> Weight {
-    sequential::dijkstra(g, &[v])
-        .distances
-        .iter()
-        .filter_map(|d| d.finite())
-        .max()
-        .unwrap_or(0)
+    sequential::dijkstra(g, &[v]).distances.iter().filter_map(|d| d.finite()).max().unwrap_or(0)
 }
 
 /// The weighted diameter (maximum weighted eccentricity over all nodes).

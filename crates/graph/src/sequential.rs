@@ -321,7 +321,11 @@ mod tests {
     #[test]
     fn bellman_ford_matches_dijkstra_on_random_graphs() {
         for seed in 0..6 {
-            let g = generators::with_random_weights(&generators::random_connected(40, 60, seed), 50, seed);
+            let g = generators::with_random_weights(
+                &generators::random_connected(40, 60, seed),
+                50,
+                seed,
+            );
             let a = dijkstra(&g, &[NodeId(0)]);
             let b = bellman_ford(&g, &[NodeId(0)]);
             assert_eq!(a.distances, b.distances, "seed {seed}");
@@ -352,10 +356,10 @@ mod tests {
     fn all_pairs_is_symmetric() {
         let g = generators::with_random_weights(&generators::random_connected(20, 30, 1), 20, 1);
         let apsp = all_pairs(&g);
-        for u in 0..20 {
-            assert_eq!(apsp[u][u], Distance::ZERO);
-            for v in 0..20 {
-                assert_eq!(apsp[u][v], apsp[v][u], "undirected distances are symmetric");
+        for (u, row) in apsp.iter().enumerate() {
+            assert_eq!(row[u], Distance::ZERO);
+            for (v, &d) in row.iter().enumerate() {
+                assert_eq!(d, apsp[v][u], "undirected distances are symmetric");
             }
         }
     }
@@ -405,7 +409,11 @@ mod tests {
     #[test]
     fn path_reconstruction_has_correct_length() {
         for seed in 0..4 {
-            let g = generators::with_random_weights(&generators::random_connected(30, 50, seed), 9, seed);
+            let g = generators::with_random_weights(
+                &generators::random_connected(30, 50, seed),
+                9,
+                seed,
+            );
             let sp = dijkstra(&g, &[NodeId(0)]);
             for v in g.nodes() {
                 let path = sp.path_to(v).expect("connected graph");

@@ -79,14 +79,10 @@ impl<'g> Engine<'g> {
         let n = graph.node_count() as usize;
         let m = graph.edge_count() as usize;
         let mut states: Vec<P> = graph.nodes().map(&mut factory).collect();
-        let mut status =
-            vec![NodeStatus { wake_at: 0, halted: false }; n];
+        let mut status = vec![NodeStatus { wake_at: 0, halted: false }; n];
         let mut metrics = Metrics::zero(n, m);
-        let mut trace = if self.config.record_edge_trace {
-            Some(EdgeUsageTrace::default())
-        } else {
-            None
-        };
+        let mut trace =
+            if self.config.record_edge_trace { Some(EdgeUsageTrace::default()) } else { None };
 
         // Messages sent in the previous round, awaiting delivery this round.
         let mut in_flight: Vec<InFlight> = Vec::new();
@@ -113,8 +109,10 @@ impl<'g> Engine<'g> {
 
             // Run awake nodes.
             let mut this_round_trace: Vec<(congest_graph::EdgeId, u32)> = Vec::new();
-            let mut edge_round_count: std::collections::HashMap<(congest_graph::EdgeId, NodeId), u32> =
-                std::collections::HashMap::new();
+            let mut edge_round_count: std::collections::HashMap<
+                (congest_graph::EdgeId, NodeId),
+                u32,
+            > = std::collections::HashMap::new();
             let mut any_awake = false;
             for v in graph.nodes() {
                 let st = &status[v.index()];
@@ -196,37 +194,22 @@ impl<'g> Engine<'g> {
             // future and no message is in flight — the protocol will never
             // make progress again. Treat it as termination at this round;
             // protocols that rely on this behave like "implicit halt".
-            let next_wake = status
-                .iter()
-                .filter(|s| !s.halted)
-                .map(|s| s.wake_at)
-                .min();
-            if in_flight.is_empty() && !any_awake {
-                match next_wake {
-                    Some(w) if w > round => {
-                        if self.config.fast_forward_idle {
-                            // Jump to the next scheduled wake-up. The skipped
-                            // rounds still exist in the model but cost nothing.
-                            if let Some(t) = trace.as_mut() {
-                                for _ in round + 1..w {
-                                    t.rounds.push(Vec::new());
-                                }
-                            }
-                            round = w;
-                            continue;
+            let next_wake = status.iter().filter(|s| !s.halted).map(|s| s.wake_at).min();
+            if in_flight.is_empty() && !any_awake && self.config.fast_forward_idle {
+                if let Some(w) = next_wake.filter(|&w| w > round) {
+                    // Jump to the next scheduled wake-up. The skipped rounds
+                    // still exist in the model but cost nothing.
+                    if let Some(t) = trace.as_mut() {
+                        for _ in round + 1..w {
+                            t.rounds.push(Vec::new());
                         }
                     }
-                    _ => {}
+                    round = w;
+                    continue;
                 }
             }
-            if in_flight.is_empty()
-                && next_wake.map_or(true, |w| w > round)
-                && !any_awake
-                && !self.config.fast_forward_idle
-            {
-                // Without fast-forward we simply step to the next round below.
-            }
-            // If nothing can ever happen again (no in-flight messages and no
+            // Without fast-forward we simply step to the next round. If
+            // nothing can ever happen again (no in-flight messages and no
             // non-halted node will ever wake because they are all waiting on
             // messages that will never come), the protocol is stuck. This can
             // only be detected heuristically; the round limit catches it.
@@ -335,9 +318,7 @@ mod tests {
     #[test]
     fn sleeping_nodes_cost_no_energy_and_fast_forward_works() {
         let g = generators::path(5, 1);
-        let run = Engine::new(&g, SimConfig::default())
-            .run(|_| Sleeper { woke_at: None })
-            .unwrap();
+        let run = Engine::new(&g, SimConfig::default()).run(|_| Sleeper { woke_at: None }).unwrap();
         for v in g.nodes() {
             assert_eq!(run.states[v.index()].woke_at, Some(10 * (v.0 as u64 + 1)));
             // Awake in round 0 (init) and in its single wake round.

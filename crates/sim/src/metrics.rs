@@ -271,11 +271,7 @@ mod tests {
     #[test]
     fn trace_statistics() {
         let t = EdgeUsageTrace {
-            rounds: vec![
-                vec![(EdgeId(0), 1), (EdgeId(1), 2)],
-                vec![],
-                vec![(EdgeId(0), 3)],
-            ],
+            rounds: vec![vec![(EdgeId(0), 1), (EdgeId(1), 2)], vec![], vec![(EdgeId(0), 3)]],
         };
         assert_eq!(t.len(), 3);
         assert!(!t.is_empty());

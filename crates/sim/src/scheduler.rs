@@ -139,12 +139,8 @@ pub fn schedule_with_delays(
         };
     }
 
-    let horizon: u64 = traces
-        .iter()
-        .zip(delays)
-        .map(|(t, &d)| t.len() as u64 + d)
-        .max()
-        .unwrap_or(0);
+    let horizon: u64 =
+        traces.iter().zip(delays).map(|(t, &d)| t.len() as u64 + d).max().unwrap_or(0);
 
     let mut backlog: HashMap<EdgeId, u64> = HashMap::new();
     let mut max_backlog = 0u64;
@@ -257,9 +253,8 @@ mod tests {
         // Each instance sends a burst of 1 message on edge 0 in its first
         // round only. With no delays they all collide; with random delays in a
         // large window, queueing is much smaller.
-        let traces: Vec<_> = (0..50)
-            .map(|_| EdgeUsageTrace { rounds: vec![vec![(EdgeId(0), 1)]] })
-            .collect();
+        let traces: Vec<_> =
+            (0..50).map(|_| EdgeUsageTrace { rounds: vec![vec![(EdgeId(0), 1)]] }).collect();
         let no_delay = schedule_with_delays(&traces, &vec![0; 50], 1);
         let spread = random_delay_schedule(
             &traces,
@@ -277,8 +272,8 @@ mod tests {
     #[test]
     fn higher_capacity_shrinks_makespan() {
         let traces: Vec<_> = (0..8).map(|_| uniform_trace(0, 10)).collect();
-        let slow = schedule_with_delays(&traces, &vec![0; 8], 1);
-        let fast = schedule_with_delays(&traces, &vec![0; 8], 8);
+        let slow = schedule_with_delays(&traces, &[0; 8], 1);
+        let fast = schedule_with_delays(&traces, &[0; 8], 8);
         assert!(fast.makespan < slow.makespan);
         assert_eq!(fast.model_rounds, fast.makespan * 8);
     }

@@ -27,10 +27,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for s in g.nodes() {
         assert_eq!(run.distances[s.index()], truth[s.index()]);
     }
-    println!("all {}x{} routing-table entries verified against Dijkstra", g.node_count(), g.node_count());
+    println!(
+        "all {}x{} routing-table entries verified against Dijkstra",
+        g.node_count(),
+        g.node_count()
+    );
 
     println!("\nper-instance SSSP congestion (max over edges): {}", run.max_instance_congestion);
-    println!("sequential composition of {} instances: {} rounds", g.node_count(), run.sequential_rounds);
+    println!(
+        "sequential composition of {} instances: {} rounds",
+        g.node_count(),
+        run.sequential_rounds
+    );
     println!(
         "random-delay concurrent schedule:          {} rounds ({} messages/edge/round budget)",
         run.schedule.makespan,
@@ -40,6 +48,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "speedup from scheduling: {:.1}x",
         run.sequential_rounds as f64 / run.schedule.makespan.max(1) as f64
     );
-    println!("randomness used: only the {} start delays (the SSSPs themselves are deterministic)", run.schedule.delays.len());
+    println!(
+        "randomness used: only the {} start delays (the SSSPs themselves are deterministic)",
+        run.schedule.delays.len()
+    );
     Ok(())
 }

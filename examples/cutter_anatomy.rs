@@ -42,7 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!("\ncutter guarantees (Lemma 2.1): estimates overshoot by at most {}", cut.error_bound);
-    println!("cutter cost: {} rounds, max {} messages per edge", cut.metrics.rounds, cut.metrics.max_congestion());
+    println!(
+        "cutter cost: {} rounds, max {} messages per edge",
+        cut.metrics.rounds,
+        cut.metrics.max_congestion()
+    );
 
     // The cut sources of the second half: nodes just outside V2 adjacent to V2,
     // with offsets measuring how far past the D/2 frontier the boundary edge

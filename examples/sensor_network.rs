@@ -20,7 +20,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let diameter = properties::hop_diameter(&g);
     let cfg = AlgoConfig::default();
 
-    println!("sensor grid: {} nodes, {} links, hop diameter {}", g.node_count(), g.edge_count(), diameter);
+    println!(
+        "sensor grid: {} nodes, {} links, hop diameter {}",
+        g.node_count(),
+        g.edge_count(),
+        diameter
+    );
 
     let naive = bfs::bfs(&g, &[gateway], &cfg)?;
     println!("\nalways-awake BFS baseline:");
@@ -31,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let low = energy::low_energy_bfs(&g, &[gateway], diameter, &cfg)?;
     assert_eq!(low.output.distances, naive.output.distances, "both compute the same BFS");
     println!("\nlow-energy BFS (paper, Theorem 3.13):");
-    println!("  rounds:          {} (slowdown {}, megaround {})", low.metrics.rounds, low.slowdown, low.megaround);
+    println!(
+        "  rounds:          {} (slowdown {}, megaround {})",
+        low.metrics.rounds, low.slowdown, low.megaround
+    );
     println!("  max node energy: {} awake rounds", low.metrics.max_energy());
     println!("  mean node energy: {:.1} awake rounds", low.metrics.mean_energy());
     println!("  layered-cover levels: {}", low.cover_levels);

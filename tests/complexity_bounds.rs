@@ -133,5 +133,8 @@ fn metrics_are_internally_consistent() {
         "every message is attributed to exactly one edge"
     );
     assert!(run.metrics.rounds > 0);
-    assert!(run.metrics.max_energy() <= run.metrics.rounds, "a node cannot be awake more rounds than exist");
+    assert!(
+        run.metrics.max_energy() <= run.metrics.rounds,
+        "a node cannot be awake more rounds than exist"
+    );
 }

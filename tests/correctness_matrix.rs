@@ -10,17 +10,15 @@ use congest_sssp_suite::sssp::{bfs, AlgoConfig};
 
 /// The workload matrix shared by the integration tests.
 fn workloads() -> Vec<(String, Graph)> {
-    let mut w = Vec::new();
-    w.push(("path".into(), generators::path(48, 3)));
-    w.push(("cycle".into(), generators::cycle(36, 5)));
-    w.push(("star".into(), generators::star(30, 7)));
-    w.push(("grid".into(), generators::with_random_weights(&generators::grid(6, 6, 1), 9, 1)));
-    w.push(("binary-tree".into(), generators::binary_tree(31, 2)));
-    w.push((
-        "barbell".into(),
-        generators::with_random_weights(&generators::barbell(8, 6, 1), 5, 2),
-    ));
-    w.push(("broom".into(), generators::broom(20, 10, 4)));
+    let mut w = vec![
+        ("path".into(), generators::path(48, 3)),
+        ("cycle".into(), generators::cycle(36, 5)),
+        ("star".into(), generators::star(30, 7)),
+        ("grid".into(), generators::with_random_weights(&generators::grid(6, 6, 1), 9, 1)),
+        ("binary-tree".into(), generators::binary_tree(31, 2)),
+        ("barbell".into(), generators::with_random_weights(&generators::barbell(8, 6, 1), 5, 2)),
+        ("broom".into(), generators::broom(20, 10, 4)),
+    ];
     for seed in 0..3u64 {
         w.push((
             format!("random-{seed}"),
@@ -97,7 +95,11 @@ fn low_energy_cssp_matches_dijkstra_on_weighted_graphs() {
 fn zero_weight_graphs_are_handled_end_to_end() {
     let cfg = AlgoConfig::default();
     for seed in 0..3u64 {
-        let g = generators::with_random_weights_zero(&generators::random_connected(30, 60, seed), 5, seed);
+        let g = generators::with_random_weights_zero(
+            &generators::random_connected(30, 60, seed),
+            5,
+            seed,
+        );
         let sources = [NodeId(0), NodeId(15)];
         let run = cssp(&g, &sources, &cfg).unwrap();
         let truth = sequential::dijkstra(&g, &sources);

@@ -1,0 +1,151 @@
+//! Offline stand-in for `rand_chacha`: a genuine ChaCha8 counter-mode PRNG
+//! implementing the vendored [`rand`] traits.
+//!
+//! The keystream is real ChaCha with 8 rounds, so streams are deterministic
+//! per seed, statistically strong, and cheap to fork by seed arithmetic —
+//! the properties the workload generators rely on. Seed expansion differs
+//! from upstream `rand_chacha`, so streams do not bit-match the real crate
+//! (no test depends on exact streams, only on determinism).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::{splitmix64, RngCore, SeedableRng};
+
+const CHACHA_ROUNDS: usize = 8;
+/// "expand 32-byte k", the standard ChaCha constant words.
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// A ChaCha stream cipher based generator with 8 rounds.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Key words 4..12 and nonce words 14..16 of the initial state.
+    key: [u32; 8],
+    nonce: [u32; 2],
+    counter: u64,
+    block: [u32; 16],
+    /// Next unread word of `block`; 16 means "exhausted".
+    index: usize,
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut state: [u32; 16] = [0; 16];
+        state[..4].copy_from_slice(&SIGMA);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = self.nonce[0];
+        state[15] = self.nonce[1];
+        let input = state;
+        for _ in 0..CHACHA_ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, inp) in state.iter_mut().zip(input.iter()) {
+            *out = out.wrapping_add(*inp);
+        }
+        self.block = state;
+        self.index = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(state: u64) -> Self {
+        let mut s = state;
+        let mut key = [0u32; 8];
+        for pair in key.chunks_mut(2) {
+            let w = splitmix64(&mut s);
+            pair[0] = w as u32;
+            if pair.len() > 1 {
+                pair[1] = (w >> 32) as u32;
+            }
+        }
+        let nonce_word = splitmix64(&mut s);
+        ChaCha8Rng {
+            key,
+            nonce: [nonce_word as u32, (nonce_word >> 32) as u32],
+            counter: 0,
+            block: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let word = self.block[self.index];
+        self.index += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_hits_extremes() {
+        let mut r = ChaCha8Rng::seed_from_u64(7);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            let v: usize = r.gen_range(0..8usize);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 8 values should appear: {seen:?}");
+        for _ in 0..1_000 {
+            let v = r.gen_range(5u64..=9);
+            assert!((5..=9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = ChaCha8Rng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "~25% expected, got {hits}/10000");
+    }
+}

@@ -1,0 +1,11 @@
+//! Offline stand-in for the `serde` facade crate.
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derive macros from the
+//! vendored [`serde_derive`] so that `use serde::{Deserialize, Serialize}`
+//! and `#[derive(Serialize, Deserialize)]` compile unchanged. No trait
+//! machinery is provided because nothing in this workspace consumes serde
+//! impls through bounds; see `vendor/README.md` for the swap-back path.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,24 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The build environment has no registry access, so this workspace vendors a
+//! minimal substitute. The real derives generate `Serialize`/`Deserialize`
+//! impls; nothing in this workspace consumes those impls through trait bounds
+//! (JSON output is hand-rolled in `congest_bench::json`), so these derives
+//! deliberately expand to nothing. Swapping in the real `serde` +
+//! `serde_derive` later requires no source changes.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`. Accepts (and ignores)
+/// `#[serde(...)]` attributes so annotated types still compile.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`. Accepts (and ignores)
+/// `#[serde(...)]` attributes so annotated types still compile.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
