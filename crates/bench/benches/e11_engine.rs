@@ -1,0 +1,34 @@
+//! E11: engine throughput — the active-set execution core vs the retained
+//! naive reference loop, on a low-energy wave BFS where almost every node is
+//! asleep in almost every round.
+
+use congest_graph::{generators, NodeId};
+use congest_sim::workloads::WaveBfs;
+use congest_sim::{Engine, SimConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    let cfg = SimConfig::default();
+    let mut group = c.benchmark_group("e11_engine");
+    group.sample_size(10);
+    for n in [1024u32, 4096] {
+        let g = generators::path(n, 1);
+        let sched = WaveBfs::schedule(&g, &[NodeId(0)]);
+        group.bench_with_input(BenchmarkId::new("active_set", n), &g, |b, g| {
+            b.iter(|| {
+                Engine::new(g, cfg.clone()).run(|id| WaveBfs::new(sched[id.index()])).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("reference", n), &g, |b, g| {
+            b.iter(|| {
+                Engine::new(g, cfg.clone())
+                    .run_reference(|id| WaveBfs::new(sched[id.index()]))
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_throughput);
+criterion_main!(benches);

@@ -6,27 +6,99 @@
 //! cargo run --release -p congest-bench --bin experiments            # quick
 //! cargo run --release -p congest-bench --bin experiments -- full    # full sweep
 //! cargo run --release -p congest-bench --bin experiments -- full json  # + JSON dump
+//! cargo run --release -p congest-bench --bin experiments -- engine-json
+//! #   runs only E11 (engine throughput) and writes BENCH_engine.json
 //! ```
 
 use congest_bench::{
-    e10_recursion, e1_e3_sssp_comparison, e4_cutter, e5_energy_bfs, e6_energy_cssp, e7_apsp,
-    e8_cover_quality, e9_spanning_forest, Scale,
+    e10_recursion, e11_engine_throughput, e1_e3_sssp_comparison, e4_cutter, e5_energy_bfs,
+    e6_energy_cssp, e7_apsp, e8_cover_quality, e9_spanning_forest, Scale, ThroughputRow,
 };
+
+fn print_e11(rows: &[ThroughputRow]) {
+    println!("\n## E11: engine throughput (active-set vs reference core)\n");
+    println!("| workload | engine | n | m | rounds | messages | lost | max energy | wall ms | node-rounds/s | speedup | metrics match |");
+    println!("|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|");
+    for r in rows {
+        println!(
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {:.2} | {:.3e} | {:.1}x | {} |",
+            r.workload,
+            r.engine,
+            r.n,
+            r.m,
+            r.rounds,
+            r.messages,
+            r.messages_lost,
+            r.max_energy,
+            r.wall_ms,
+            r.node_rounds_per_sec,
+            r.speedup_vs_reference,
+            r.metrics_match
+        );
+    }
+}
+
+/// Writes the E11 rows to `BENCH_engine.json` so CI can archive the engine
+/// perf trajectory (both engines' wall-clock numbers are in the rows).
+fn write_engine_json(rows: &[ThroughputRow], scale: Scale) {
+    use congest_bench::json::array;
+    let body = format!(
+        "{{\"experiment\": \"e11_engine_throughput\", \"scale\": \"{scale:?}\", \"rows\": {}}}",
+        array(rows)
+    );
+    std::fs::write("BENCH_engine.json", body).expect("write BENCH_engine.json");
+    eprintln!("wrote BENCH_engine.json");
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = if args.iter().any(|a| a == "full") { Scale::Full } else { Scale::Quick };
     let json = args.iter().any(|a| a == "json");
+
+    if args.iter().any(|a| a == "engine-json") {
+        // CI mode: only the engine-throughput experiment, plus its artifact.
+        // This is also the release-mode gate on the refactor's acceptance
+        // bar, so it fails loudly rather than archiving a regression green.
+        println!("# Experiment tables ({scale:?} scale)");
+        let e11 = e11_engine_throughput(scale);
+        print_e11(&e11);
+        write_engine_json(&e11, scale);
+        assert!(
+            e11.iter().all(|r| r.metrics_match),
+            "active-set and reference engines diverged; see the table above"
+        );
+        let wave = e11
+            .iter()
+            .find(|r| r.workload == "wave-bfs-path" && r.engine == "active-set")
+            .expect("wave-bfs-path row present");
+        assert!(
+            wave.speedup_vs_reference >= 3.0,
+            "engine throughput regression: wave-bfs-path speedup {:.1}x < 3x",
+            wave.speedup_vs_reference
+        );
+        return;
+    }
+
     println!("# Experiment tables ({scale:?} scale)\n");
 
     let e1 = e1_e3_sssp_comparison(scale);
     println!("## E1-E3: SSSP time, congestion, and messages vs baselines\n");
-    println!("| workload | algorithm | n | m | rounds | messages | max congestion | max energy |");
-    println!("|---|---|---:|---:|---:|---:|---:|---:|");
+    println!(
+        "| workload | algorithm | n | m | rounds | messages | max congestion | max energy | lost |"
+    );
+    println!("|---|---|---:|---:|---:|---:|---:|---:|---:|");
     for r in &e1 {
         println!(
-            "| {} | {} | {} | {} | {} | {} | {} | {} |",
-            r.workload, r.algorithm, r.n, r.m, r.rounds, r.messages, r.max_congestion, r.max_energy
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+            r.workload,
+            r.algorithm,
+            r.n,
+            r.m,
+            r.rounds,
+            r.messages,
+            r.max_congestion,
+            r.max_energy,
+            r.messages_lost
         );
     }
 
@@ -156,6 +228,9 @@ fn main() {
         );
     }
 
+    let e11 = e11_engine_throughput(scale);
+    print_e11(&e11);
+
     if json {
         use congest_bench::json::{array, object};
         let dump = object(&[
@@ -167,6 +242,7 @@ fn main() {
             ("e8", array(&e8)),
             ("e9", array(&e9)),
             ("e10", array(&e10)),
+            ("e11", array(&e11)),
         ]);
         println!("\n## JSON\n");
         println!("{dump}");

@@ -5,7 +5,9 @@
 //! of numbers and short labels, so a tiny emitter covers the `experiments
 //! -- full json` dump without it.
 
-use crate::{ApspRow, CoverRow, CutterRow, EnergyRow, ForestRow, RecursionRow, SsspRow};
+use crate::{
+    ApspRow, CoverRow, CutterRow, EnergyRow, ForestRow, RecursionRow, SsspRow, ThroughputRow,
+};
 
 /// Types that can render themselves as a JSON value.
 pub trait ToJson {
@@ -86,7 +88,7 @@ macro_rules! impl_row_json {
 }
 
 impl_row_json! {
-    SsspRow { workload, algorithm, n, m, rounds, messages, max_congestion, max_energy }
+    SsspRow { workload, algorithm, n, m, rounds, messages, max_congestion, max_energy, messages_lost }
     CutterRow {
         n, w, eps_inverse, rounds, max_congestion, error_bound, max_observed_error,
         dropped_within_2w,
@@ -106,6 +108,10 @@ impl_row_json! {
     ForestRow { n, m, components, phases, rounds, max_congestion, low_energy_max, always_awake_max }
     RecursionRow {
         n, levels, subproblems, max_participation, total_subproblem_size, normalized_total,
+    }
+    ThroughputRow {
+        workload, engine, n, m, rounds, messages, messages_lost, max_energy, wall_ms,
+        node_rounds_per_sec, speedup_vs_reference, metrics_match,
     }
 }
 

@@ -1,0 +1,152 @@
+//! The active-set scheduler: tracks which nodes are awake in which round.
+//!
+//! The sleeping model's cost profile (only `poly(log n)` awake rounds per
+//! node) means that in a typical low-energy execution almost every node is
+//! asleep in almost every round. The engine therefore must never iterate over
+//! all `n` nodes per round; instead this module maintains an explicit *wake
+//! queue* — a bucket queue keyed by the absolute wake round — so that a round
+//! touches exactly the nodes scheduled to run in it.
+//!
+//! Invariant: a non-halted node `v` is awake in round `r` iff
+//! `wake_at[v] == r`. (`wake_at` only ever moves forward, and it is only
+//! rewritten when `v` runs, at which point its old queue entry has already
+//! been consumed — so every queue entry is live and unique.)
+
+use std::collections::BTreeMap;
+
+use congest_graph::NodeId;
+
+/// Per-node status plus the wake bucket queue.
+#[derive(Debug, Clone)]
+pub(crate) struct ActiveSet {
+    /// The round in which each node next runs (meaningless once halted).
+    wake_at: Vec<u64>,
+    /// Nodes that have halted for good.
+    halted: Vec<bool>,
+    halted_count: usize,
+    /// Bucket queue: wake round -> nodes scheduled to run in it. `BTreeMap`
+    /// rather than a ring buffer because sleeping-model protocols legitimately
+    /// schedule wake-ups arbitrarily far in the future.
+    buckets: BTreeMap<u64, Vec<NodeId>>,
+}
+
+impl ActiveSet {
+    /// Creates the scheduler for `n` nodes, all awake in round 0 (the
+    /// initialization round of the model).
+    pub(crate) fn new(n: usize) -> Self {
+        let mut buckets = BTreeMap::new();
+        if n > 0 {
+            buckets.insert(0, (0..n as u32).map(NodeId).collect());
+        }
+        ActiveSet { wake_at: vec![0; n], halted: vec![false; n], halted_count: 0, buckets }
+    }
+
+    /// Removes and returns (into `out`) the nodes awake in `round`, sorted by
+    /// id so the execution order matches the reference engine's `0..n` sweep.
+    pub(crate) fn take_awake(&mut self, round: u64, out: &mut Vec<NodeId>) {
+        out.clear();
+        if let Some(mut bucket) = self.buckets.remove(&round) {
+            bucket.sort_unstable();
+            out.append(&mut bucket);
+        }
+    }
+
+    /// `true` iff `v` receives messages delivered in `round` (awake and not
+    /// halted). Must be queried *before* the nodes of `round` are rescheduled.
+    pub(crate) fn is_receptive(&self, v: NodeId, round: u64) -> bool {
+        !self.halted[v.index()] && self.wake_at[v.index()] == round
+    }
+
+    /// Reschedules `v` (which just ran in `round`) to wake at `wake_at`.
+    pub(crate) fn reschedule(&mut self, v: NodeId, round: u64, wake_at: u64) {
+        debug_assert!(wake_at > round, "wake-ups must move forward");
+        let w = wake_at.max(round + 1);
+        self.wake_at[v.index()] = w;
+        self.buckets.entry(w).or_default().push(v);
+    }
+
+    /// Marks `v` as halted; it never runs again.
+    pub(crate) fn halt(&mut self, v: NodeId) {
+        if !self.halted[v.index()] {
+            self.halted[v.index()] = true;
+            self.halted_count += 1;
+        }
+    }
+
+    /// `true` once every node has halted.
+    pub(crate) fn all_halted(&self) -> bool {
+        self.halted_count == self.halted.len()
+    }
+
+    /// Number of nodes that have not halted.
+    pub(crate) fn unhalted(&self) -> u32 {
+        (self.halted.len() - self.halted_count) as u32
+    }
+
+    /// The earliest round in which any node is scheduled to wake, if any.
+    pub(crate) fn next_wake(&self) -> Option<u64> {
+        self.buckets.keys().next().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_nodes_start_awake_in_round_zero() {
+        let mut a = ActiveSet::new(3);
+        let mut awake = Vec::new();
+        a.take_awake(0, &mut awake);
+        assert_eq!(awake, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        a.take_awake(0, &mut awake);
+        assert!(awake.is_empty(), "a bucket is consumed exactly once");
+    }
+
+    #[test]
+    fn reschedule_orders_nodes_by_id_within_a_bucket() {
+        let mut a = ActiveSet::new(4);
+        let mut awake = Vec::new();
+        a.take_awake(0, &mut awake);
+        // Insert out of id order; the bucket must come back sorted.
+        a.reschedule(NodeId(3), 0, 5);
+        a.reschedule(NodeId(1), 0, 5);
+        a.reschedule(NodeId(2), 0, 7);
+        a.halt(NodeId(0));
+        assert_eq!(a.next_wake(), Some(5));
+        a.take_awake(5, &mut awake);
+        assert_eq!(awake, vec![NodeId(1), NodeId(3)]);
+        assert_eq!(a.next_wake(), Some(7));
+    }
+
+    #[test]
+    fn receptivity_tracks_wake_round_exactly() {
+        let mut a = ActiveSet::new(2);
+        let mut awake = Vec::new();
+        a.take_awake(0, &mut awake);
+        a.reschedule(NodeId(0), 0, 3);
+        a.halt(NodeId(1));
+        assert!(!a.is_receptive(NodeId(0), 1));
+        assert!(a.is_receptive(NodeId(0), 3));
+        assert!(!a.is_receptive(NodeId(1), 1), "halted nodes receive nothing");
+    }
+
+    #[test]
+    fn halt_counting() {
+        let mut a = ActiveSet::new(2);
+        assert_eq!(a.unhalted(), 2);
+        a.halt(NodeId(0));
+        a.halt(NodeId(0)); // idempotent
+        assert_eq!(a.unhalted(), 1);
+        assert!(!a.all_halted());
+        a.halt(NodeId(1));
+        assert!(a.all_halted());
+    }
+
+    #[test]
+    fn empty_network_is_trivially_halted() {
+        let a = ActiveSet::new(0);
+        assert!(a.all_halted());
+        assert_eq!(a.next_wake(), None);
+    }
+}

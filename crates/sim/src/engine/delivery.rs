@@ -1,0 +1,167 @@
+//! The message delivery arena: flat, reusable per-round inbox storage.
+//!
+//! The reference engine materializes `vec![Vec::new(); n]` inboxes every
+//! round — an `O(n)` allocation even in rounds where two messages move. This
+//! arena instead keeps one flat `Vec<Message>` grouped by recipient plus
+//! per-node `(start, len)` range indexes, rebuilt in place each round with a
+//! counting pass. All per-node index vectors are allocated once and reset
+//! through a touched-list, so the per-round cost is `O(deliveries)`, not
+//! `O(n)`.
+
+use congest_graph::{EdgeId, NodeId};
+
+use crate::message::InFlight;
+use crate::Message;
+
+/// A placeholder message used to pre-size the arena before the placement
+/// pass; its empty payload never allocates.
+fn placeholder() -> Message {
+    Message { from: NodeId(0), edge: EdgeId(0), words: Vec::new() }
+}
+
+/// Flat inbox storage for one round of deliveries.
+#[derive(Debug, Clone)]
+pub(crate) struct DeliveryArena {
+    /// All delivered messages, grouped by recipient.
+    msgs: Vec<Message>,
+    /// Per-node start of its inbox range in `msgs`.
+    start: Vec<u32>,
+    /// Per-node inbox length.
+    len: Vec<u32>,
+    /// Per-node fill cursor for the placement pass.
+    cursor: Vec<u32>,
+    /// Recipients with a non-empty inbox this round (for `O(touched)` reset).
+    touched: Vec<NodeId>,
+}
+
+impl DeliveryArena {
+    /// Creates an empty arena for `n` nodes. This is the only `O(n)`
+    /// allocation; every round after construction reuses it.
+    pub(crate) fn new(n: usize) -> Self {
+        DeliveryArena {
+            msgs: Vec::new(),
+            start: vec![0; n],
+            len: vec![0; n],
+            cursor: vec![0; n],
+            touched: Vec::new(),
+        }
+    }
+
+    /// Rebuilds the arena from the messages sent last round, delivering to
+    /// recipients for which `receptive` holds and dropping the rest (the
+    /// sleeping model loses messages to sleeping/halted nodes). Returns the
+    /// number of lost messages. `incoming` is drained but keeps its capacity.
+    ///
+    /// Per-recipient message order is preserved from `incoming`, which itself
+    /// preserves send order, so inboxes are identical to the reference
+    /// engine's.
+    pub(crate) fn build(
+        &mut self,
+        incoming: &mut Vec<InFlight>,
+        receptive: impl Fn(NodeId) -> bool,
+    ) -> u64 {
+        // Reset last round's ranges.
+        for v in self.touched.drain(..) {
+            self.len[v.index()] = 0;
+        }
+
+        // Counting pass: inbox sizes and the lost-message tally.
+        let mut lost = 0u64;
+        for flight in incoming.iter() {
+            if receptive(flight.to) {
+                let i = flight.to.index();
+                if self.len[i] == 0 {
+                    self.touched.push(flight.to);
+                }
+                self.len[i] += 1;
+            } else {
+                lost += 1;
+            }
+        }
+
+        // Prefix pass: assign each touched recipient a contiguous range.
+        let mut offset = 0u32;
+        for &v in &self.touched {
+            let i = v.index();
+            self.start[i] = offset;
+            self.cursor[i] = offset;
+            offset += self.len[i];
+        }
+
+        // Placement pass: move every deliverable message into its slot.
+        self.msgs.clear();
+        self.msgs.resize_with(offset as usize, placeholder);
+        for flight in incoming.drain(..) {
+            if receptive(flight.to) {
+                let c = &mut self.cursor[flight.to.index()];
+                self.msgs[*c as usize] = flight.msg;
+                *c += 1;
+            }
+        }
+        lost
+    }
+
+    /// The inbox delivered to `v` this round (empty unless `v` was touched in
+    /// the latest [`DeliveryArena::build`]).
+    pub(crate) fn inbox(&self, v: NodeId) -> &[Message] {
+        let l = self.len[v.index()] as usize;
+        if l == 0 {
+            // `start[v]` may be stale from an earlier round; never index it.
+            return &[];
+        }
+        let s = self.start[v.index()] as usize;
+        &self.msgs[s..s + l]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flight(from: u32, to: u32, word: u64) -> InFlight {
+        InFlight {
+            to: NodeId(to),
+            msg: Message { from: NodeId(from), edge: EdgeId(0), words: vec![word] },
+        }
+    }
+
+    #[test]
+    fn groups_messages_by_recipient_preserving_order() {
+        let mut arena = DeliveryArena::new(4);
+        let mut incoming =
+            vec![flight(0, 2, 10), flight(1, 3, 20), flight(3, 2, 30), flight(2, 3, 40)];
+        let lost = arena.build(&mut incoming, |_| true);
+        assert_eq!(lost, 0);
+        assert!(incoming.is_empty());
+        let at = |v: u32, i: usize| arena.inbox(NodeId(v))[i].words[0];
+        assert_eq!(arena.inbox(NodeId(2)).len(), 2);
+        assert_eq!((at(2, 0), at(2, 1)), (10, 30), "arrival order per recipient");
+        assert_eq!((at(3, 0), at(3, 1)), (20, 40));
+        assert!(arena.inbox(NodeId(0)).is_empty());
+    }
+
+    #[test]
+    fn non_receptive_recipients_lose_messages() {
+        let mut arena = DeliveryArena::new(3);
+        let mut incoming = vec![flight(0, 1, 1), flight(0, 2, 2), flight(1, 2, 3)];
+        let lost = arena.build(&mut incoming, |v| v == NodeId(2));
+        assert_eq!(lost, 1);
+        assert!(arena.inbox(NodeId(1)).is_empty());
+        assert_eq!(arena.inbox(NodeId(2)).len(), 2);
+    }
+
+    #[test]
+    fn rebuild_resets_previous_round() {
+        let mut arena = DeliveryArena::new(3);
+        let mut incoming = vec![flight(0, 1, 1)];
+        arena.build(&mut incoming, |_| true);
+        assert_eq!(arena.inbox(NodeId(1)).len(), 1);
+        let mut incoming = vec![flight(1, 2, 2)];
+        arena.build(&mut incoming, |_| true);
+        assert!(arena.inbox(NodeId(1)).is_empty(), "stale ranges must be cleared");
+        assert_eq!(arena.inbox(NodeId(2)).len(), 1);
+        let mut empty = Vec::new();
+        arena.build(&mut empty, |_| true);
+        assert!(arena.inbox(NodeId(2)).is_empty());
+    }
+}

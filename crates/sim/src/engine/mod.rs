@@ -1,11 +1,34 @@
 //! The round-driving engine of the simulator.
+//!
+//! The engine is built around an *active-set scheduler* so that simulation
+//! cost scales with awake work, not `n · rounds`:
+//!
+//! * `active_set` — a wake bucket queue; each round touches only the nodes
+//!   scheduled to run in it, and sleeping nodes cost nothing.
+//! * `delivery` — a flat, reusable message arena replacing per-round per-node
+//!   inbox allocation; rebuilt with a counting pass in `O(deliveries)`.
+//! * `capacity` — dense per-edge-direction CONGEST capacity counters reset
+//!   through a touched-list.
+//! * `reference` — the retained naive `O(n)`-per-round loop
+//!   ([`Engine::run_reference`]), the semantic oracle for differential tests
+//!   and the baseline of the E11 engine-throughput experiment (see
+//!   `EXPERIMENTS.md`).
 
-use congest_graph::{Graph, NodeId};
+mod active_set;
+mod capacity;
+mod delivery;
+mod reference;
+
+use congest_graph::{EdgeId, Graph, NodeId};
 
 use crate::message::InFlight;
 use crate::metrics::{EdgeUsageTrace, Metrics};
 use crate::node::{NodeCtx, NodeRequest};
 use crate::{Message, Network, Protocol, SimConfig, SimError};
+
+use active_set::ActiveSet;
+use capacity::CapacityTracker;
+use delivery::DeliveryArena;
 
 /// The result of running a protocol to completion.
 #[derive(Debug, Clone)]
@@ -19,15 +42,6 @@ pub struct RunOutcome<P> {
     /// The per-round edge usage trace, if [`SimConfig::record_edge_trace`]
     /// was enabled.
     pub trace: Option<EdgeUsageTrace>,
-}
-
-/// Per-node bookkeeping the engine maintains.
-#[derive(Debug, Clone)]
-struct NodeStatus {
-    /// The earliest round at which the node is next awake.
-    wake_at: u64,
-    /// The node has halted for good.
-    halted: bool,
 }
 
 /// The simulation engine: drives per-node [`Protocol`] state machines through
@@ -63,6 +77,12 @@ impl<'g> Engine<'g> {
     /// [`Protocol::init`] runs. From round 1 on, [`Protocol::on_round`] runs
     /// for every awake, non-halted node.
     ///
+    /// The execution cost of a round is proportional to the number of awake
+    /// nodes plus the number of in-flight messages — sleeping nodes cost
+    /// zero — so low-energy protocols simulate in time proportional to their
+    /// total awake work rather than `n · rounds`. The semantics are those of
+    /// the naive sweep ([`Engine::run_reference`]), bit for bit.
+    ///
     /// # Errors
     ///
     /// * [`SimError::RoundLimitExceeded`] if the protocol does not halt within
@@ -79,53 +99,47 @@ impl<'g> Engine<'g> {
         let n = graph.node_count() as usize;
         let m = graph.edge_count() as usize;
         let mut states: Vec<P> = graph.nodes().map(&mut factory).collect();
-        let mut status = vec![NodeStatus { wake_at: 0, halted: false }; n];
+        let mut active = ActiveSet::new(n);
+        let mut arena = DeliveryArena::new(n);
+        let mut capacity = CapacityTracker::new(m);
         let mut metrics = Metrics::zero(n, m);
         let mut trace =
             if self.config.record_edge_trace { Some(EdgeUsageTrace::default()) } else { None };
 
-        // Messages sent in the previous round, awaiting delivery this round.
-        let mut in_flight: Vec<InFlight> = Vec::new();
+        // Double-buffered in-flight messages: `incoming` was sent last round
+        // and is delivered now; `outgoing` collects this round's sends.
+        let mut incoming: Vec<InFlight> = Vec::new();
+        let mut outgoing: Vec<InFlight> = Vec::new();
+        let mut awake: Vec<NodeId> = Vec::new();
+        let mut this_round_trace: Vec<(EdgeId, u32)> = Vec::new();
         let mut round: u64 = 0;
 
         loop {
             if round > self.config.max_rounds {
-                let unhalted = status.iter().filter(|s| !s.halted).count() as u32;
                 return Err(SimError::RoundLimitExceeded {
                     limit: self.config.max_rounds,
-                    unhalted_nodes: unhalted,
+                    unhalted_nodes: active.unhalted(),
                 });
             }
 
-            // Deliver messages sent last round. Messages to sleeping or halted
-            // nodes are lost (the defining property of the sleeping model).
-            let mut inboxes: Vec<Vec<Message>> = vec![Vec::new(); n];
-            for flight in in_flight.drain(..) {
-                let st = &status[flight.to.index()];
-                if !st.halted && st.wake_at <= round {
-                    inboxes[flight.to.index()].push(flight.msg);
-                }
-            }
+            // The nodes that run this round, in id order. Taken before
+            // delivery, which reads start-of-round receptivity.
+            active.take_awake(round, &mut awake);
 
-            // Run awake nodes.
-            let mut this_round_trace: Vec<(congest_graph::EdgeId, u32)> = Vec::new();
-            let mut edge_round_count: std::collections::HashMap<
-                (congest_graph::EdgeId, NodeId),
-                u32,
-            > = std::collections::HashMap::new();
-            let mut any_awake = false;
-            for v in graph.nodes() {
-                let st = &status[v.index()];
-                if st.halted || st.wake_at > round {
-                    continue;
-                }
-                any_awake = true;
+            // Deliver messages sent last round. Messages to sleeping or
+            // halted nodes are lost (the defining property of the sleeping
+            // model) — and counted, so protocol bugs cannot hide in silence.
+            metrics.messages_lost += arena.build(&mut incoming, |v| active.is_receptive(v, round));
+
+            capacity.reset();
+            this_round_trace.clear();
+            for &v in &awake {
                 metrics.node_energy[v.index()] += 1;
                 let mut ctx = NodeCtx::new(v, graph.node_count(), round, graph.neighbors(v));
                 if round == 0 {
                     states[v.index()].init(&mut ctx);
                 } else {
-                    states[v.index()].on_round(&mut ctx, &inboxes[v.index()]);
+                    states[v.index()].on_round(&mut ctx, arena.inbox(v));
                 }
                 let NodeRequest { outbox, wake_at, halt } = ctx.request;
                 // Process sends.
@@ -140,9 +154,8 @@ impl<'g> Engine<'g> {
                         }
                         metrics.capacity_violations += 1;
                     }
-                    let used = edge_round_count.entry((edge, v)).or_insert(0);
-                    *used += 1;
-                    if *used > self.config.edge_capacity {
+                    let used = capacity.record(graph, edge, v);
+                    if used > self.config.edge_capacity {
                         if self.config.strict_capacity {
                             return Err(SimError::EdgeCapacityExceeded {
                                 node: v,
@@ -158,24 +171,21 @@ impl<'g> Engine<'g> {
                     if trace.is_some() {
                         this_round_trace.push((edge, 1));
                     }
-                    in_flight.push(InFlight { to, msg: Message { from: v, edge, words } });
+                    outgoing.push(InFlight { to, msg: Message { from: v, edge, words } });
                 }
                 // Process sleep/halt requests.
-                let st = &mut status[v.index()];
                 if halt {
-                    st.halted = true;
-                } else if let Some(w) = wake_at {
-                    st.wake_at = w;
+                    active.halt(v);
                 } else {
-                    st.wake_at = round + 1;
+                    active.reschedule(v, round, wake_at.unwrap_or(round + 1));
                 }
             }
 
             if let Some(t) = trace.as_mut() {
                 // Coalesce duplicate edges in this round's trace entry.
-                let mut merged: std::collections::HashMap<congest_graph::EdgeId, u32> =
+                let mut merged: std::collections::HashMap<EdgeId, u32> =
                     std::collections::HashMap::new();
-                for (e, c) in this_round_trace {
+                for &(e, c) in &this_round_trace {
                     *merged.entry(e).or_insert(0) += c;
                 }
                 let mut entry: Vec<_> = merged.into_iter().collect();
@@ -183,22 +193,19 @@ impl<'g> Engine<'g> {
                 t.rounds.push(entry);
             }
 
-            // Termination check: all halted and nothing in flight.
-            let all_halted = status.iter().all(|s| s.halted);
-            if all_halted {
+            // Termination check: all halted and nothing in flight. Whatever
+            // was sent this round can never be delivered — count it as lost.
+            if active.all_halted() {
+                metrics.messages_lost += outgoing.len() as u64;
                 metrics.rounds = round + 1;
                 return Ok(RunOutcome { states, metrics, trace });
             }
 
-            // Deadlock / quiescence guard: nobody is awake now or in the
-            // future and no message is in flight — the protocol will never
-            // make progress again. Treat it as termination at this round;
-            // protocols that rely on this behave like "implicit halt".
-            let next_wake = status.iter().filter(|s| !s.halted).map(|s| s.wake_at).min();
-            if in_flight.is_empty() && !any_awake && self.config.fast_forward_idle {
-                if let Some(w) = next_wake.filter(|&w| w > round) {
-                    // Jump to the next scheduled wake-up. The skipped rounds
-                    // still exist in the model but cost nothing.
+            // Quiescence fast-forward: nobody ran this round (so nothing was
+            // sent either) — jump straight to the next scheduled wake-up. The
+            // skipped rounds still exist in the model but cost nothing.
+            if outgoing.is_empty() && awake.is_empty() && self.config.fast_forward_idle {
+                if let Some(w) = active.next_wake().filter(|&w| w > round) {
                     if let Some(t) = trace.as_mut() {
                         for _ in round + 1..w {
                             t.rounds.push(Vec::new());
@@ -208,12 +215,12 @@ impl<'g> Engine<'g> {
                     continue;
                 }
             }
-            // Without fast-forward we simply step to the next round. If
-            // nothing can ever happen again (no in-flight messages and no
-            // non-halted node will ever wake because they are all waiting on
-            // messages that will never come), the protocol is stuck. This can
-            // only be detected heuristically; the round limit catches it.
+            // Without fast-forward we step one round at a time; an empty
+            // round costs O(1) (a bucket-queue miss). If nothing can ever
+            // happen again, the round limit catches it.
 
+            incoming.clear();
+            std::mem::swap(&mut incoming, &mut outgoing);
             round += 1;
         }
     }
@@ -363,13 +370,17 @@ mod tests {
     }
 
     #[test]
-    fn messages_to_sleeping_nodes_are_lost() {
+    fn messages_to_sleeping_nodes_are_lost_and_counted() {
         let g = generators::path(2, 1);
         let run = Engine::new(&g, SimConfig::default())
             .run(|id| LossyReceiver { got: 0, is_sender: id == NodeId(0) })
             .unwrap();
         // Node 1 slept through the first message and received only the second.
         assert_eq!(run.states[1].got, 1);
+        // Every message except the one delivered in round 6 was dropped on a
+        // sleeping or halted endpoint, and the drops are observable.
+        assert_eq!(run.metrics.messages_lost, run.metrics.messages - 1);
+        assert!(run.metrics.messages_lost >= 1);
     }
 
     /// A protocol that spams an edge beyond capacity.
@@ -457,5 +468,86 @@ mod tests {
         assert_eq!(trace.total_messages(), run.metrics.messages);
         assert_eq!(trace.max_edge_total(), run.metrics.max_congestion());
         assert_eq!(trace.len() as u64, run.metrics.rounds);
+    }
+
+    // --- Active-set vs reference engine: fixed correctness matrix ----------
+    //
+    // The proptest harness in `tests/engine_equivalence.rs` covers randomized
+    // protocols; these pin the equivalence on every protocol in this file.
+
+    fn assert_equivalent<P, F>(g: &Graph, cfg: SimConfig, factory: F, check: impl Fn(&P, &P))
+    where
+        P: Protocol,
+        F: Fn(NodeId) -> P + Copy,
+    {
+        let fast = Engine::new(g, cfg.clone()).run(factory).expect("active-set run");
+        let slow = Engine::new(g, cfg).run_reference(factory).expect("reference run");
+        assert_eq!(fast.metrics, slow.metrics, "metrics must be identical");
+        assert_eq!(fast.trace, slow.trace, "traces must be identical");
+        for (a, b) in fast.states.iter().zip(&slow.states) {
+            check(a, b);
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_simple_bfs() {
+        let g = generators::random_connected(30, 50, 3);
+        let cfg = SimConfig::default().with_edge_trace(true);
+        assert_equivalent(
+            &g,
+            cfg,
+            |id| SimpleBfs { is_source: id == NodeId(4), dist: Distance::Infinite, quiet: 0 },
+            |a: &SimpleBfs, b: &SimpleBfs| assert_eq!(a.dist, b.dist),
+        );
+    }
+
+    #[test]
+    fn engines_agree_on_sleepers() {
+        let g = generators::path(7, 1);
+        assert_equivalent(
+            &g,
+            SimConfig::default(),
+            |_| Sleeper { woke_at: None },
+            |a: &Sleeper, b: &Sleeper| assert_eq!(a.woke_at, b.woke_at),
+        );
+    }
+
+    #[test]
+    fn engines_agree_on_lossy_receivers() {
+        let g = generators::star(6, 1);
+        assert_equivalent(
+            &g,
+            SimConfig::default(),
+            |id| LossyReceiver { got: 0, is_sender: id == NodeId(0) },
+            |a: &LossyReceiver, b: &LossyReceiver| assert_eq!(a.got, b.got),
+        );
+    }
+
+    #[test]
+    fn engines_agree_on_lenient_spammers() {
+        let g = generators::cycle(5, 1);
+        let cfg = SimConfig { strict_capacity: false, ..SimConfig::default() };
+        assert_equivalent(&g, cfg, |_| Spammer, |_: &Spammer, _: &Spammer| {});
+    }
+
+    #[test]
+    fn engines_agree_without_fast_forward() {
+        let g = generators::path(4, 1);
+        let cfg = SimConfig { fast_forward_idle: false, ..SimConfig::default() };
+        assert_equivalent(
+            &g,
+            cfg,
+            |_| Sleeper { woke_at: None },
+            |a: &Sleeper, b: &Sleeper| assert_eq!(a.woke_at, b.woke_at),
+        );
+    }
+
+    #[test]
+    fn engines_agree_on_errors() {
+        let g = generators::path(3, 1);
+        let cfg = SimConfig::default().with_max_rounds(50);
+        let fast = Engine::new(&g, cfg.clone()).run(|_| Immortal).unwrap_err();
+        let slow = Engine::new(&g, cfg).run_reference(|_| Immortal).unwrap_err();
+        assert_eq!(fast, slow);
     }
 }

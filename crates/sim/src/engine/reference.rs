@@ -1,0 +1,189 @@
+//! The retained naive execution loop, kept as a differential-testing oracle.
+//!
+//! This is the pre-refactor engine: every round it sweeps all `n` nodes,
+//! allocates fresh per-node inboxes, and tracks edge capacity in a `HashMap`.
+//! Its per-round cost is `Θ(n)` regardless of how many nodes are awake, which
+//! is exactly what the active-set engine in [`super`] eliminates — but its
+//! simplicity makes it the semantic ground truth. [`Engine::run`] must
+//! produce bit-identical [`RunOutcome`]s (states, [`Metrics`], traces); the
+//! proptest harness in `tests/engine_equivalence.rs` and the E11 throughput
+//! experiment both enforce this.
+
+use std::collections::HashMap;
+
+use congest_graph::{EdgeId, NodeId};
+
+use crate::message::InFlight;
+use crate::metrics::{EdgeUsageTrace, Metrics};
+use crate::node::{NodeCtx, NodeRequest};
+use crate::{Engine, Message, Protocol, RunOutcome, SimError};
+
+/// Per-node bookkeeping of the reference loop.
+#[derive(Debug, Clone)]
+struct NodeStatus {
+    /// The earliest round at which the node is next awake.
+    wake_at: u64,
+    /// The node has halted for good.
+    halted: bool,
+}
+
+impl Engine<'_> {
+    /// Runs the protocol through the naive `O(n)`-per-round reference loop.
+    ///
+    /// Semantics are identical to [`Engine::run`] — same states, metrics, and
+    /// traces — only the execution cost differs. Use this as the baseline in
+    /// engine benchmarks and as the oracle in differential tests; use
+    /// [`Engine::run`] everywhere else.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Engine::run`].
+    pub fn run_reference<P, F>(&self, mut factory: F) -> Result<RunOutcome<P>, SimError>
+    where
+        P: Protocol,
+        F: FnMut(NodeId) -> P,
+    {
+        let graph = self.network().graph();
+        let config = self.config();
+        let n = graph.node_count() as usize;
+        let m = graph.edge_count() as usize;
+        let mut states: Vec<P> = graph.nodes().map(&mut factory).collect();
+        let mut status = vec![NodeStatus { wake_at: 0, halted: false }; n];
+        let mut metrics = Metrics::zero(n, m);
+        let mut trace =
+            if config.record_edge_trace { Some(EdgeUsageTrace::default()) } else { None };
+
+        // Messages sent in the previous round, awaiting delivery this round.
+        let mut in_flight: Vec<InFlight> = Vec::new();
+        let mut round: u64 = 0;
+
+        loop {
+            if round > config.max_rounds {
+                let unhalted = status.iter().filter(|s| !s.halted).count() as u32;
+                return Err(SimError::RoundLimitExceeded {
+                    limit: config.max_rounds,
+                    unhalted_nodes: unhalted,
+                });
+            }
+
+            // Deliver messages sent last round. Messages to sleeping or halted
+            // nodes are lost (the defining property of the sleeping model).
+            let mut inboxes: Vec<Vec<Message>> = vec![Vec::new(); n];
+            for flight in in_flight.drain(..) {
+                let st = &status[flight.to.index()];
+                if !st.halted && st.wake_at <= round {
+                    inboxes[flight.to.index()].push(flight.msg);
+                } else {
+                    metrics.messages_lost += 1;
+                }
+            }
+
+            // Run awake nodes.
+            let mut this_round_trace: Vec<(EdgeId, u32)> = Vec::new();
+            let mut edge_round_count: HashMap<(EdgeId, NodeId), u32> = HashMap::new();
+            let mut any_awake = false;
+            for v in graph.nodes() {
+                let st = &status[v.index()];
+                if st.halted || st.wake_at > round {
+                    continue;
+                }
+                any_awake = true;
+                metrics.node_energy[v.index()] += 1;
+                let mut ctx = NodeCtx::new(v, graph.node_count(), round, graph.neighbors(v));
+                if round == 0 {
+                    states[v.index()].init(&mut ctx);
+                } else {
+                    states[v.index()].on_round(&mut ctx, &inboxes[v.index()]);
+                }
+                let NodeRequest { outbox, wake_at, halt } = ctx.request;
+                // Process sends.
+                for (edge, to, words) in outbox {
+                    if words.len() > config.max_message_words {
+                        if config.strict_capacity {
+                            return Err(SimError::MessageTooLarge {
+                                node: v,
+                                words: words.len(),
+                                max_words: config.max_message_words,
+                            });
+                        }
+                        metrics.capacity_violations += 1;
+                    }
+                    let used = edge_round_count.entry((edge, v)).or_insert(0);
+                    *used += 1;
+                    if *used > config.edge_capacity {
+                        if config.strict_capacity {
+                            return Err(SimError::EdgeCapacityExceeded {
+                                node: v,
+                                edge,
+                                round,
+                                capacity: config.edge_capacity,
+                            });
+                        }
+                        metrics.capacity_violations += 1;
+                    }
+                    metrics.messages += 1;
+                    metrics.edge_congestion[edge.index()] += 1;
+                    if trace.is_some() {
+                        this_round_trace.push((edge, 1));
+                    }
+                    in_flight.push(InFlight { to, msg: Message { from: v, edge, words } });
+                }
+                // Process sleep/halt requests.
+                let st = &mut status[v.index()];
+                if halt {
+                    st.halted = true;
+                } else if let Some(w) = wake_at {
+                    st.wake_at = w;
+                } else {
+                    st.wake_at = round + 1;
+                }
+            }
+
+            if let Some(t) = trace.as_mut() {
+                // Coalesce duplicate edges in this round's trace entry.
+                let mut merged: HashMap<EdgeId, u32> = HashMap::new();
+                for (e, c) in this_round_trace {
+                    *merged.entry(e).or_insert(0) += c;
+                }
+                let mut entry: Vec<_> = merged.into_iter().collect();
+                entry.sort_by_key(|&(e, _)| e);
+                t.rounds.push(entry);
+            }
+
+            // Termination check: all halted and nothing in flight. Whatever
+            // was sent this round can never be delivered — count it as lost.
+            let all_halted = status.iter().all(|s| s.halted);
+            if all_halted {
+                metrics.messages_lost += in_flight.len() as u64;
+                metrics.rounds = round + 1;
+                return Ok(RunOutcome { states, metrics, trace });
+            }
+
+            // Deadlock / quiescence guard: nobody is awake now or in the
+            // future and no message is in flight — the protocol will never
+            // make progress again. Treat it as termination at this round;
+            // protocols that rely on this behave like "implicit halt".
+            let next_wake = status.iter().filter(|s| !s.halted).map(|s| s.wake_at).min();
+            if in_flight.is_empty() && !any_awake && config.fast_forward_idle {
+                if let Some(w) = next_wake.filter(|&w| w > round) {
+                    // Jump to the next scheduled wake-up. The skipped rounds
+                    // still exist in the model but cost nothing.
+                    if let Some(t) = trace.as_mut() {
+                        for _ in round + 1..w {
+                            t.rounds.push(Vec::new());
+                        }
+                    }
+                    round = w;
+                    continue;
+                }
+            }
+            // Without fast-forward we simply step to the next round. If
+            // nothing can ever happen again (no in-flight messages and no
+            // non-halted node will ever wake because they are all waiting on
+            // messages that will never come), the protocol is stuck. This can
+            // only be detected heuristically; the round limit catches it.
+
+            round += 1;
+        }
+    }
+}

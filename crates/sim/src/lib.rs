@@ -20,6 +20,26 @@
 //! * **congestion** — maximum number of messages sent over any single edge,
 //! * **energy** — maximum number of awake rounds over any single node.
 //!
+//! It additionally counts **lost messages** ([`Metrics::messages_lost`]):
+//! sends whose recipient was sleeping or halted at delivery time. The model
+//! drops these silently; the counter makes the drops observable, because an
+//! unexpected loss is almost always a protocol bug.
+//!
+//! # Execution model and cost
+//!
+//! [`Engine::run`] is built around an *active set*: an explicit wake queue
+//! (a bucket queue keyed by each node's `wake_at` round) plus a per-round
+//! delivery arena. A round's simulation cost is proportional to the number
+//! of **awake nodes plus in-flight messages** in that round — sleeping nodes
+//! cost zero, empty rounds cost `O(1)`, and contiguous idle spans are
+//! fast-forwarded ([`SimConfig::fast_forward_idle`]). A full execution
+//! therefore costs `O(total awake work + total messages)`, **not**
+//! `O(n · rounds)` — the property that makes simulating low-energy protocols
+//! (the paper's `poly(log n)` awake rounds per node) cheap even at large `n`
+//! and huge round counts. The pre-refactor `Θ(n)`-per-round sweep is retained
+//! as [`Engine::run_reference`], the oracle for differential tests and the
+//! baseline of the engine-throughput experiment (`EXPERIMENTS.md`, E11).
+//!
 //! # Writing a protocol
 //!
 //! A protocol is a per-node state machine implementing [`Protocol`]. The
@@ -51,7 +71,12 @@
 //!         } else {
 //!             self.rounds_quiet += 1;
 //!             // The component has hop-diameter < n, so after n quiet rounds
-//!             // no further improvement can arrive.
+//!             // no further improvement can arrive. Note that an always-awake
+//!             // protocol like this one keeps every node in the wake queue
+//!             // every round; it halts by counting quiet rounds, and pays for
+//!             // each of them. A sleeping-model protocol would sleep instead
+//!             // — the engine's active-set scheduler then skips the node
+//!             // entirely, and whole-network idle spans are fast-forwarded.
 //!             if self.rounds_quiet > ctx.node_count() {
 //!                 ctx.halt();
 //!             }
@@ -77,6 +102,7 @@ mod metrics;
 mod network;
 mod node;
 pub mod scheduler;
+pub mod workloads;
 
 pub use engine::{Engine, RunOutcome};
 pub use error::SimError;

@@ -29,6 +29,13 @@ pub struct Metrics {
     /// Number of sends that exceeded the per-round edge capacity or message
     /// size limit (only non-zero when `strict_capacity` is off).
     pub capacity_violations: u64,
+    /// Number of messages that were sent but never received because the
+    /// recipient was sleeping or had halted at delivery time (the defining
+    /// loss rule of the sleeping model). Protocols that rely on precise wake
+    /// schedules should see 0 here for wavefront traffic; a surprising
+    /// non-zero value is usually a protocol bug, which is why the engine
+    /// counts it instead of dropping messages silently.
+    pub messages_lost: u64,
 }
 
 impl Metrics {
@@ -40,6 +47,7 @@ impl Metrics {
             edge_congestion: vec![0; m],
             node_energy: vec![0; n],
             capacity_violations: 0,
+            messages_lost: 0,
         }
     }
 
@@ -83,6 +91,7 @@ impl Metrics {
         self.rounds += other.rounds;
         self.messages += other.messages;
         self.capacity_violations += other.capacity_violations;
+        self.messages_lost += other.messages_lost;
         for (a, b) in self.edge_congestion.iter_mut().zip(&other.edge_congestion) {
             *a += b;
         }
@@ -105,6 +114,7 @@ impl Metrics {
         self.rounds = self.rounds.max(other.rounds);
         self.messages += other.messages;
         self.capacity_violations += other.capacity_violations;
+        self.messages_lost += other.messages_lost;
         for (a, b) in self.edge_congestion.iter_mut().zip(&other.edge_congestion) {
             *a += b;
         }
@@ -127,6 +137,7 @@ impl Metrics {
         out.rounds = self.rounds;
         out.messages = self.messages;
         out.capacity_violations = self.capacity_violations;
+        out.messages_lost = self.messages_lost;
         for (i, &orig) in node_map.iter().enumerate() {
             out.node_energy[orig.index()] += self.node_energy[i];
         }
@@ -218,12 +229,15 @@ mod tests {
     #[test]
     fn sequential_merge_adds_rounds() {
         let mut a = sample(2, 3, 5);
-        let b = sample(2, 3, 7);
+        a.messages_lost = 1;
+        let mut b = sample(2, 3, 7);
+        b.messages_lost = 2;
         a.merge_sequential(&b);
         assert_eq!(a.rounds, 12);
         assert_eq!(a.messages, 20);
         assert_eq!(a.max_congestion(), 4);
         assert_eq!(a.max_energy(), 6);
+        assert_eq!(a.messages_lost, 3);
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //!
 //! The paper obtains APSP by running `n` SSSP instances — each with only
 //! `poly(log n)` congestion per edge — *concurrently*, using the classic
-//! random-delays scheduling idea of Leighton, Maggs, and Rao [LMR94] as
-//! packaged for CONGEST by Ghaffari [Gha15]: give every instance a uniformly
+//! random-delays scheduling idea of Leighton, Maggs, and Rao (LMR94) as
+//! packaged for CONGEST by Ghaffari (Gha15): give every instance a uniformly
 //! random start delay, then run them together; with high probability each edge
 //! only has to carry a small number of messages per round, so the makespan is
 //! `O(congestion + dilation · log n)` instead of the trivial

@@ -1,0 +1,248 @@
+//! Reference sleeping-model workloads for engine benchmarking and
+//! differential testing.
+//!
+//! The paper's low-energy algorithms keep almost every node asleep in almost
+//! every round; these protocols distill that cost profile into small,
+//! self-contained state machines the engine experiments can drive at large
+//! `n` (see `EXPERIMENTS.md`, E11):
+//!
+//! * [`WaveBfs`] — a BFS wavefront under a *perfect* wake schedule: each node
+//!   wakes exactly once, in the round its distance arrives. This is the ideal
+//!   limit of the paper's cluster-activation schedules (Section 3): `O(1)`
+//!   energy per node, `D` rounds, and per-round awake work equal to one BFS
+//!   level.
+//! * [`PulseBfs`] — an oracle-free periodic BFS: every node wakes for two
+//!   rounds per period to talk and listen, so the wavefront advances one hop
+//!   per period. Energy is `O(D)`, but only a `2/period` fraction of rounds
+//!   does any work — the profile of a megaround schedule (Section 3.1.3).
+
+use congest_graph::{Distance, Graph, NodeId};
+
+use crate::{Message, NodeCtx, Protocol};
+
+/// BFS under a precomputed perfect wake schedule.
+///
+/// Node `v` sleeps until the round equal to its hop distance `d(v)`, receives
+/// the wavefront from a distance-`d(v) − 1` neighbour (such a neighbour
+/// always exists and announced in round `d(v) − 1`), announces its own
+/// distance once, and halts. Messages to same- or smaller-distance
+/// neighbours land on halted nodes and are lost — the engine's
+/// `messages_lost` counter records exactly those.
+#[derive(Debug, Clone)]
+pub struct WaveBfs {
+    /// The wake round of this node (its hop distance), or `None` for
+    /// unreachable nodes, which halt immediately.
+    wake: Option<u64>,
+    /// The distance this node computed (the protocol's output).
+    pub dist: Distance,
+}
+
+impl WaveBfs {
+    /// The perfect wake schedule for a BFS from `sources` on `g`:
+    /// `schedule[v] = Some(d(v))`, or `None` if `v` is unreachable.
+    pub fn schedule(g: &Graph, sources: &[NodeId]) -> Vec<Option<u64>> {
+        let truth = congest_graph::sequential::bfs(g, sources);
+        g.nodes().map(|v| truth.distance(v).finite()).collect()
+    }
+
+    /// A node with the given wake round (an entry of [`WaveBfs::schedule`]).
+    pub fn new(wake: Option<u64>) -> WaveBfs {
+        WaveBfs { wake, dist: Distance::Infinite }
+    }
+}
+
+impl Protocol for WaveBfs {
+    fn init(&mut self, ctx: &mut NodeCtx<'_>) {
+        match self.wake {
+            Some(0) => {
+                self.dist = Distance::ZERO;
+                ctx.broadcast(&[0]);
+                ctx.halt();
+            }
+            Some(w) => ctx.sleep_until(w),
+            None => ctx.halt(),
+        }
+    }
+
+    fn on_round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[Message]) {
+        debug_assert_eq!(Some(ctx.round()), self.wake, "a node wakes exactly once");
+        for msg in inbox {
+            let cand = Distance::Finite(msg.word(0) + 1);
+            if cand < self.dist {
+                self.dist = cand;
+            }
+        }
+        debug_assert_eq!(self.dist.finite(), self.wake, "the schedule is exact");
+        if let Some(d) = self.dist.finite() {
+            ctx.broadcast(&[d]);
+        }
+        ctx.halt();
+    }
+}
+
+/// Oracle-free periodic ("pulsed") BFS.
+///
+/// Time is divided into periods of `period` rounds. Every node is awake for
+/// the two rounds `k·period` (talk: announce a newly learned distance) and
+/// `k·period + 1` (listen: collect announcements), and asleep otherwise, so
+/// no announcement is ever lost. The wavefront crosses one hop per period;
+/// after `hop_bound` periods every reachable node within the bound knows its
+/// distance, and all nodes halt on the first listen round past
+/// `(hop_bound + 2) · period`.
+#[derive(Debug, Clone)]
+pub struct PulseBfs {
+    period: u64,
+    /// The round after which nodes halt (derived from the hop bound).
+    limit: u64,
+    announced: bool,
+    /// The hop distance this node computed (the protocol's output).
+    pub dist: Distance,
+}
+
+impl PulseBfs {
+    /// A node of a pulsed BFS with the given period (≥ 2) and hop bound
+    /// (an upper bound on the hop diameter, `n` always suffices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period < 2` (talk and listen rounds would collide).
+    pub fn new(is_source: bool, period: u64, hop_bound: u64) -> PulseBfs {
+        assert!(period >= 2, "pulse period must separate talk and listen rounds");
+        PulseBfs {
+            period,
+            limit: (hop_bound + 2).saturating_mul(period),
+            announced: false,
+            dist: if is_source { Distance::ZERO } else { Distance::Infinite },
+        }
+    }
+
+    /// The round of the next talk pulse strictly after `round`.
+    fn next_pulse(&self, round: u64) -> u64 {
+        (round / self.period + 1) * self.period
+    }
+}
+
+impl Protocol for PulseBfs {
+    fn init(&mut self, ctx: &mut NodeCtx<'_>) {
+        ctx.sleep_until(self.period);
+    }
+
+    fn on_round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[Message]) {
+        let r = ctx.round();
+        if r % self.period == 0 {
+            // Talk round: announce once, stay awake for the listen round.
+            if !self.announced {
+                if let Some(d) = self.dist.finite() {
+                    ctx.broadcast(&[d]);
+                    self.announced = true;
+                }
+            }
+        } else {
+            // Listen round: collect announcements, then sleep to the next
+            // pulse (or halt once the bound guarantees quiescence).
+            for msg in inbox {
+                let cand = Distance::Finite(msg.word(0) + 1);
+                if cand < self.dist {
+                    self.dist = cand;
+                }
+            }
+            if r >= self.limit {
+                ctx.halt();
+            } else {
+                ctx.sleep_until(self.next_pulse(r));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Engine, SimConfig};
+    use congest_graph::{generators, sequential};
+
+    #[test]
+    fn wave_bfs_computes_distances_with_constant_energy() {
+        let g = generators::random_connected(60, 90, 17);
+        let sched = WaveBfs::schedule(&g, &[NodeId(0)]);
+        let run = Engine::new(&g, SimConfig::default())
+            .run(|id| WaveBfs::new(sched[id.index()]))
+            .unwrap();
+        let truth = sequential::bfs(&g, &[NodeId(0)]);
+        for v in g.nodes() {
+            assert_eq!(run.states[v.index()].dist, truth.distance(v), "node {v}");
+        }
+        // Each node is awake exactly twice: init and its wave round (sources
+        // and unreachable nodes only once — they halt at init).
+        assert!(run.metrics.max_energy() <= 2);
+        // Exactly one message is delivered per tight edge (distance gap 1,
+        // downhill endpoint to uphill endpoint); every other announcement
+        // lands on a halted node and is counted as lost.
+        let delivered = g
+            .edges()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    (truth.distance(e.u).finite(), truth.distance(e.v).finite()),
+                    (Some(a), Some(b)) if a.abs_diff(b) == 1
+                )
+            })
+            .count() as u64;
+        assert_eq!(run.metrics.messages_lost, run.metrics.messages - delivered);
+    }
+
+    #[test]
+    fn wave_bfs_handles_unreachable_components() {
+        let g = generators::disjoint_copies(&generators::path(5, 1), 2);
+        let sched = WaveBfs::schedule(&g, &[NodeId(0)]);
+        let run = Engine::new(&g, SimConfig::default())
+            .run(|id| WaveBfs::new(sched[id.index()]))
+            .unwrap();
+        for v in 5..10 {
+            assert!(run.states[v].dist.is_infinite());
+            assert_eq!(run.metrics.node_energy[v], 1, "unreachable nodes halt at init");
+        }
+    }
+
+    #[test]
+    fn pulse_bfs_computes_distances_without_an_oracle() {
+        let g = generators::grid(7, 5, 1);
+        let n = g.node_count();
+        let run = Engine::new(&g, SimConfig::default())
+            .run(|id| PulseBfs::new(id == NodeId(0), 8, n as u64))
+            .unwrap();
+        let truth = sequential::bfs(&g, &[NodeId(0)]);
+        for v in g.nodes() {
+            assert_eq!(run.states[v.index()].dist, truth.distance(v), "node {v}");
+        }
+        // The pulse schedule never drops an announcement.
+        assert_eq!(run.metrics.messages_lost, 0);
+        // Nodes sleep out most of each period.
+        assert!(run.metrics.max_energy() as f64 <= run.metrics.rounds as f64 * 2.0 / 8.0 + 3.0);
+    }
+
+    #[test]
+    fn both_wave_workloads_agree_across_engines() {
+        let g = generators::grid(6, 6, 1);
+        let sched = WaveBfs::schedule(&g, &[NodeId(0)]);
+        let cfg = SimConfig::default();
+        let fast = Engine::new(&g, cfg.clone()).run(|id| WaveBfs::new(sched[id.index()])).unwrap();
+        let slow = Engine::new(&g, cfg.clone())
+            .run_reference(|id| WaveBfs::new(sched[id.index()]))
+            .unwrap();
+        assert_eq!(fast.metrics, slow.metrics);
+
+        let n = g.node_count() as u64;
+        let fast =
+            Engine::new(&g, cfg.clone()).run(|id| PulseBfs::new(id == NodeId(0), 4, n)).unwrap();
+        let slow =
+            Engine::new(&g, cfg).run_reference(|id| PulseBfs::new(id == NodeId(0), 4, n)).unwrap();
+        assert_eq!(fast.metrics, slow.metrics);
+    }
+
+    #[test]
+    #[should_panic(expected = "pulse period")]
+    fn pulse_period_one_is_rejected() {
+        let _ = PulseBfs::new(true, 1, 10);
+    }
+}

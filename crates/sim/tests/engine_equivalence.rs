@@ -1,0 +1,165 @@
+//! Differential testing of the active-set engine against the retained naive
+//! reference loop.
+//!
+//! A pseudo-random "chaos" protocol — nodes send to random neighbours, sleep
+//! random spans, and halt at random rounds, folding everything they observe
+//! into a running digest — runs on random graphs through both
+//! [`Engine::run`] and [`Engine::run_reference`]. The two executions must be
+//! indistinguishable: identical [`congest_sim::Metrics`] (rounds, messages,
+//! congestion, energy, capacity violations, lost messages), identical edge
+//! traces, and identical final states. The digest depends on message
+//! *content, order, and arrival round*, so any divergence in scheduling or
+//! delivery shows up as a state mismatch, not just a metric mismatch.
+
+use congest_graph::{generators, Graph, NodeId};
+use congest_sim::{Engine, Message, NodeCtx, Protocol, SimConfig};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A deterministic pseudo-random protocol. Behaviour depends only on the
+/// node's own RNG stream and what the engine shows it, so two semantically
+/// equivalent engines drive it into identical executions.
+#[derive(Debug, Clone)]
+struct ChaosNode {
+    rng: ChaCha8Rng,
+    /// Round at which this node halts unconditionally.
+    lifetime: u64,
+    /// Running digest of everything observed (inbox contents and rounds).
+    digest: u64,
+}
+
+impl ChaosNode {
+    fn new(seed: u64, id: NodeId) -> ChaosNode {
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(id.0 as u64 + 1)),
+        );
+        let lifetime = rng.gen_range(3u64..40);
+        ChaosNode { rng, lifetime, digest: seed }
+    }
+
+    fn absorb(&mut self, round: u64, inbox: &[Message]) {
+        for msg in inbox {
+            self.digest = self
+                .digest
+                .wrapping_mul(0x100_0000_01b3)
+                .wrapping_add(msg.from.0 as u64)
+                .wrapping_add((msg.edge.0 as u64) << 17)
+                .wrapping_add(round << 34);
+            for &w in &msg.words {
+                self.digest = self.digest.rotate_left(13) ^ w;
+            }
+        }
+    }
+
+    fn act(&mut self, ctx: &mut NodeCtx<'_>) {
+        // Random sends: at most one message per incident edge, so the
+        // capacity-1 CONGEST bound can only be violated through parallel
+        // edges — which the lenient configs below merely count.
+        let neighbors: Vec<_> = ctx.neighbors().to_vec();
+        for adj in &neighbors {
+            if self.rng.gen_range(0u32..100) < 40 {
+                let len = self.rng.gen_range(1..=3usize);
+                let mut words = vec![0u64; len];
+                for w in words.iter_mut() {
+                    *w = self.digest ^ self.rng.gen_range(0u64..1_000_000);
+                }
+                ctx.send_on_edge(adj.edge, &words);
+            }
+        }
+        // Random schedule: halt at end of life, otherwise sometimes sleep.
+        if ctx.round() >= self.lifetime {
+            ctx.halt();
+        } else if self.rng.gen_range(0u32..100) < 35 {
+            ctx.sleep_for(self.rng.gen_range(1u64..7));
+        }
+    }
+}
+
+impl Protocol for ChaosNode {
+    fn init(&mut self, ctx: &mut NodeCtx<'_>) {
+        self.act(ctx);
+    }
+
+    fn on_round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[Message]) {
+        self.absorb(ctx.round(), inbox);
+        self.act(ctx);
+    }
+}
+
+/// Runs the chaos protocol through both engines and asserts equivalence.
+fn assert_engines_equivalent(g: &Graph, cfg: SimConfig, seed: u64) {
+    let fast = Engine::new(g, cfg.clone()).run(|id| ChaosNode::new(seed, id));
+    let slow = Engine::new(g, cfg).run_reference(|id| ChaosNode::new(seed, id));
+    match (fast, slow) {
+        (Ok(fast), Ok(slow)) => {
+            assert_eq!(fast.metrics, slow.metrics, "metrics diverged (seed {seed})");
+            assert_eq!(fast.trace, slow.trace, "edge traces diverged (seed {seed})");
+            let fd: Vec<u64> = fast.states.iter().map(|s| s.digest).collect();
+            let sd: Vec<u64> = slow.states.iter().map(|s| s.digest).collect();
+            assert_eq!(fd, sd, "state digests diverged (seed {seed})");
+        }
+        (fast, slow) => panic!("one engine failed: fast={fast:?} slow={slow:?} (seed {seed})"),
+    }
+}
+
+fn chaos_config() -> impl Strategy<Value = SimConfig> {
+    (1u32..3, 0u8..2, 0u8..2).prop_map(|(capacity, fast_forward, trace)| SimConfig {
+        edge_capacity: capacity,
+        // Lenient mode: violations are counted (and must match), not fatal.
+        strict_capacity: false,
+        fast_forward_idle: fast_forward == 1,
+        record_edge_trace: trace == 1,
+        ..SimConfig::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn engines_are_equivalent_on_random_graphs(
+        n in 2u32..28,
+        extra in 0u64..40,
+        graph_seed in 0u64..1_000_000,
+        protocol_seed in 0u64..1_000_000,
+        cfg in chaos_config(),
+    ) {
+        let g = generators::random_connected(n, extra, graph_seed);
+        assert_engines_equivalent(&g, cfg, protocol_seed);
+    }
+
+    #[test]
+    fn engines_are_equivalent_on_multigraphs(
+        protocol_seed in 0u64..1_000_000,
+        cfg in chaos_config(),
+    ) {
+        // Parallel edges exercise per-edge-direction capacity accounting.
+        let g = Graph::from_edges(3, [(0, 1, 1), (0, 1, 2), (1, 2, 1), (0, 2, 3), (0, 2, 3)])
+            .expect("valid multigraph");
+        assert_engines_equivalent(&g, cfg, protocol_seed);
+    }
+}
+
+#[test]
+fn engines_are_equivalent_on_structured_graphs() {
+    for (i, g) in [
+        generators::path(17, 1),
+        generators::cycle(12, 2),
+        generators::star(9, 1),
+        generators::grid(5, 4, 1),
+        generators::disjoint_copies(&generators::path(6, 1), 3),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        for seed in 0..4 {
+            let cfg = SimConfig {
+                strict_capacity: false,
+                record_edge_trace: true,
+                ..SimConfig::default()
+            };
+            assert_engines_equivalent(&g, cfg, seed * 1000 + i as u64);
+        }
+    }
+}
