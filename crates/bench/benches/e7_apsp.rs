@@ -1,7 +1,10 @@
-//! E7: APSP via `n` concurrent SSSP instances under random-delay scheduling.
+//! E7/E12: APSP via `n` concurrent SSSP instances under random-delay
+//! scheduling — both the reworked parallel streaming driver and the retained
+//! reference driver (sequential instances + round-by-round scheduler), so
+//! `cargo bench` shows the pipeline gap at small sizes too.
 
 use congest_bench::weighted_workload;
-use congest_sssp::apsp::{apsp, ApspConfig};
+use congest_sssp::apsp::{apsp, apsp_reference, ApspConfig};
 use congest_sssp::AlgoConfig;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -12,8 +15,11 @@ fn bench_apsp(c: &mut Criterion) {
     group.sample_size(10);
     for n in [16u32, 24] {
         let g = weighted_workload(n, 3);
-        group.bench_with_input(BenchmarkId::new("apsp_scheduled", n), &g, |b, g| {
+        group.bench_with_input(BenchmarkId::new("parallel_streaming", n), &g, |b, g| {
             b.iter(|| apsp(g, &cfg, &apsp_cfg).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("reference_driver", n), &g, |b, g| {
+            b.iter(|| apsp_reference(g, &cfg, &apsp_cfg).unwrap())
         });
     }
     group.finish();

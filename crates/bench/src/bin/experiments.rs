@@ -8,11 +8,14 @@
 //! cargo run --release -p congest-bench --bin experiments -- full json  # + JSON dump
 //! cargo run --release -p congest-bench --bin experiments -- engine-json
 //! #   runs only E11 (engine throughput) and writes BENCH_engine.json
+//! cargo run --release -p congest-bench --bin experiments -- apsp-json
+//! #   runs only E12 (APSP throughput, n = 512) and writes BENCH_apsp.json
 //! ```
 
 use congest_bench::{
-    e10_recursion, e11_engine_throughput, e1_e3_sssp_comparison, e4_cutter, e5_energy_bfs,
-    e6_energy_cssp, e7_apsp, e8_cover_quality, e9_spanning_forest, Scale, ThroughputRow,
+    e10_recursion, e11_engine_throughput, e12_apsp_throughput, e12_apsp_throughput_at,
+    e1_e3_sssp_comparison, e4_cutter, e5_energy_bfs, e6_energy_cssp, e7_apsp, e8_cover_quality,
+    e9_spanning_forest, ApspThroughputRow, Scale, ThroughputRow,
 };
 
 fn print_e11(rows: &[ThroughputRow]) {
@@ -50,6 +53,41 @@ fn write_engine_json(rows: &[ThroughputRow], scale: Scale) {
     eprintln!("wrote BENCH_engine.json");
 }
 
+fn print_e12(rows: &[ApspThroughputRow]) {
+    println!("\n## E12: APSP throughput (parallel streaming driver vs reference driver)\n");
+    println!("| n | m | driver | threads | wall ms | makespan | model rounds | sequential rounds | messages | speedup | results match |");
+    println!("|---:|---:|---|---:|---:|---:|---:|---:|---:|---:|---:|");
+    for r in rows {
+        println!(
+            "| {} | {} | {} | {} | {:.1} | {} | {} | {} | {} | {:.2}x | {} |",
+            r.n,
+            r.m,
+            r.driver,
+            r.threads,
+            r.wall_ms,
+            r.makespan,
+            r.model_rounds,
+            r.sequential_rounds,
+            r.total_messages,
+            r.speedup_vs_reference,
+            r.results_match
+        );
+    }
+}
+
+/// Writes the E12 rows to `BENCH_apsp.json` so CI can archive the APSP
+/// pipeline's perf trajectory (both drivers' wall-clock numbers are in the
+/// rows).
+fn write_apsp_json(rows: &[ApspThroughputRow], label: &str) {
+    use congest_bench::json::array;
+    let body = format!(
+        "{{\"experiment\": \"e12_apsp_throughput\", \"scale\": \"{label}\", \"rows\": {}}}",
+        array(rows)
+    );
+    std::fs::write("BENCH_apsp.json", body).expect("write BENCH_apsp.json");
+    eprintln!("wrote BENCH_apsp.json");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = if args.iter().any(|a| a == "full") { Scale::Full } else { Scale::Quick };
@@ -75,6 +113,43 @@ fn main() {
             wave.speedup_vs_reference >= 3.0,
             "engine throughput regression: wave-bfs-path speedup {:.1}x < 3x",
             wave.speedup_vs_reference
+        );
+        return;
+    }
+
+    if args.iter().any(|a| a == "apsp-json") {
+        // CI mode: only the APSP-throughput experiment at the acceptance
+        // size, plus its artifact. The gate fails loudly on a result mismatch
+        // or a wall-clock regression rather than archiving it green.
+        println!("# Experiment tables (APSP gate, n = 512)");
+        let e12 = e12_apsp_throughput_at(&[512]);
+        print_e12(&e12);
+        write_apsp_json(&e12, "Gate512");
+        assert!(
+            e12.iter().all(|r| r.results_match),
+            "parallel-streaming and reference APSP drivers diverged; see the table above"
+        );
+        let parallel = e12
+            .iter()
+            .find(|r| r.driver == "parallel-streaming" && r.n == 512)
+            .expect("parallel-streaming row present");
+        // The 2x bar assumes the instances can actually run in parallel
+        // (CI runners have 4 vCPUs). On 2-3 cores the ideal speedup is
+        // capped near the core count, so the bar is graded; on a single
+        // core both drivers are dominated by the same sequentialized SSSP
+        // executions and the gate degrades to a no-regression check (0.9
+        // tolerates timer noise).
+        let bar = match parallel.threads {
+            0 | 1 => 0.9,
+            2 | 3 => 1.3,
+            _ => 2.0,
+        };
+        assert!(
+            parallel.speedup_vs_reference >= bar,
+            "APSP throughput regression: speedup {:.2}x < {:.1}x (threads = {})",
+            parallel.speedup_vs_reference,
+            bar,
+            parallel.threads
         );
         return;
     }
@@ -231,6 +306,9 @@ fn main() {
     let e11 = e11_engine_throughput(scale);
     print_e11(&e11);
 
+    let e12 = e12_apsp_throughput(scale);
+    print_e12(&e12);
+
     if json {
         use congest_bench::json::{array, object};
         let dump = object(&[
@@ -243,6 +321,7 @@ fn main() {
             ("e9", array(&e9)),
             ("e10", array(&e10)),
             ("e11", array(&e11)),
+            ("e12", array(&e12)),
         ]);
         println!("\n## JSON\n");
         println!("{dump}");

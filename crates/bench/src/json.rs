@@ -6,7 +6,8 @@
 //! -- full json` dump without it.
 
 use crate::{
-    ApspRow, CoverRow, CutterRow, EnergyRow, ForestRow, RecursionRow, SsspRow, ThroughputRow,
+    ApspRow, ApspThroughputRow, CoverRow, CutterRow, EnergyRow, ForestRow, RecursionRow, SsspRow,
+    ThroughputRow,
 };
 
 /// Types that can render themselves as a JSON value.
@@ -112,6 +113,10 @@ impl_row_json! {
     ThroughputRow {
         workload, engine, n, m, rounds, messages, messages_lost, max_energy, wall_ms,
         node_rounds_per_sec, speedup_vs_reference, metrics_match,
+    }
+    ApspThroughputRow {
+        n, m, driver, threads, wall_ms, makespan, model_rounds, sequential_rounds,
+        total_messages, speedup_vs_reference, results_match,
     }
 }
 

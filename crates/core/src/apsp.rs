@@ -10,15 +10,41 @@
 //!
 //! Each SSSP instance is executed on its own (which preserves its
 //! correctness) and produces per-edge message counts and a round count. The
-//! instances' edge usage is then spread evenly over their duration to form
-//! per-round usage traces, and the traces are superimposed by the
+//! instance's edge usage is spread evenly over its duration to form a
+//! per-round usage trace, and the traces are superimposed by the
 //! random-delay queueing scheduler of [`congest_sim::scheduler`]. The
 //! reported makespan is the realized completion time under a per-round
 //! per-edge message budget. See DESIGN.md §6.
+//!
+//! ## Execution pipeline and cost
+//!
+//! [`apsp`] runs the `n` independent SSSP instances **in parallel across OS
+//! threads** (`std::thread::scope`; instances are handed out one source at a
+//! time from a shared atomic counter, so threads stay load-balanced), and
+//! **streams** each finished instance's trace into the event-driven
+//! [`ScheduleBuilder`] instead of materializing all `n` traces: results flow
+//! back over a channel, a small reorder buffer replays them **in source-index
+//! order**, each trace is folded into the scheduler's arrival buckets, and
+//! then dropped. Distances, instance statistics, the delay stream, and hence
+//! the entire [`ApspRun`] are therefore **bit-identical regardless of thread
+//! count** — parallelism changes wall-clock time only. Peak memory beyond the
+//! `O(n²)` distance matrix is `O(m + makespan)` (arrival buckets + dense
+//! per-edge scheduler state) instead of the former `O(n · m)` trace pile.
+//!
+//! The pre-rework driver — sequential instance loop, all traces
+//! materialized, round-by-round reference scheduler — is retained as
+//! [`apsp_reference`], the oracle for differential tests and the baseline of
+//! the APSP-throughput experiment (`EXPERIMENTS.md`, E12).
 
-use congest_graph::{Distance, EdgeId, Graph};
-use congest_sim::scheduler::{random_delay_schedule, ScheduleConfig, ScheduleOutcome};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::mpsc;
+
+use congest_graph::{Distance, EdgeId, Graph, NodeId};
+use congest_sim::scheduler::{draw_delay, schedule_reference, ScheduleBuilder, ScheduleOutcome};
 use congest_sim::EdgeUsageTrace;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::cssp::sssp;
@@ -55,17 +81,256 @@ pub struct ApspConfig {
     /// Seed for the random delays (the only randomness in the whole APSP
     /// algorithm, as the paper emphasizes).
     pub seed: u64,
+    /// Number of OS threads to run SSSP instances on: `0` uses the host's
+    /// available parallelism, `1` forces the in-thread sequential path. The
+    /// result is bit-identical for every value — threads only change
+    /// wall-clock time.
+    pub threads: usize,
+}
+
+/// Everything one SSSP instance contributes to the APSP composition.
+struct InstanceRun {
+    distances: Vec<Distance>,
+    trace: EdgeUsageTrace,
+    rounds: u64,
+    max_congestion: u64,
+    messages: u64,
+}
+
+/// Runs the SSSP instance for one source and packages its contribution.
+fn run_instance(g: &Graph, source: NodeId, config: &AlgoConfig) -> Result<InstanceRun, AlgoError> {
+    let run = sssp(g, source, config)?;
+    Ok(InstanceRun {
+        trace: spread_trace(&run.metrics.edge_congestion, run.metrics.rounds),
+        rounds: run.metrics.rounds,
+        max_congestion: run.metrics.max_congestion(),
+        messages: run.metrics.messages,
+        distances: run.output.distances,
+    })
+}
+
+/// Accumulates instance results *in source-index order*: draws the
+/// instance's delay (one PRNG draw per instance, in order, so the stream is
+/// identical to the sequential driver's), streams the trace into the
+/// scheduler's arrival buckets, and records the per-instance statistics. The
+/// trace is dropped right after the fold.
+struct Assembly {
+    rng: ChaCha8Rng,
+    max_delay: u64,
+    builder: ScheduleBuilder,
+    distances: Vec<Vec<Distance>>,
+    instance_rounds: Vec<u64>,
+    max_instance_congestion: u64,
+    total_messages: u64,
+}
+
+impl Assembly {
+    fn new(n: usize, budget: u32, max_delay: u64, seed: u64) -> Assembly {
+        Assembly {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            max_delay,
+            builder: ScheduleBuilder::new(budget),
+            distances: vec![Vec::new(); n],
+            instance_rounds: vec![0; n],
+            max_instance_congestion: 0,
+            total_messages: 0,
+        }
+    }
+
+    fn consume(&mut self, index: usize, run: InstanceRun) {
+        let delay = draw_delay(&mut self.rng, self.max_delay);
+        self.builder.push_trace(&run.trace, delay);
+        self.distances[index] = run.distances;
+        self.instance_rounds[index] = run.rounds;
+        self.max_instance_congestion = self.max_instance_congestion.max(run.max_congestion);
+        self.total_messages += run.messages;
+    }
+
+    fn finish(self) -> ApspRun {
+        let sequential_rounds = self.instance_rounds.iter().sum();
+        ApspRun {
+            distances: self.distances,
+            instance_rounds: self.instance_rounds,
+            max_instance_congestion: self.max_instance_congestion,
+            schedule: self.builder.finish(),
+            sequential_rounds,
+            total_messages: self.total_messages,
+        }
+    }
+}
+
+/// The number of OS threads [`apsp`] will actually use for the given
+/// configuration on a graph of `n` nodes: the configured `threads` (with `0`
+/// resolving to the host's available parallelism), capped by the instance
+/// count. Exposed so measurement harnesses can report the true thread count
+/// instead of re-deriving it.
+pub fn planned_threads(apsp_config: &ApspConfig, n: u32) -> usize {
+    resolve_threads(apsp_config.threads, n as usize)
+}
+
+/// Resolves the configured thread count against the host and the workload.
+fn resolve_threads(requested: usize, instances: usize) -> usize {
+    let threads = if requested == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    } else {
+        requested
+    };
+    threads.min(instances.max(1))
+}
+
+/// The effective per-round edge budget for a graph of `n` nodes.
+fn effective_budget(n: u32, configured: u32) -> u32 {
+    if configured == 0 {
+        ((n.max(2) as f64).log2().ceil() as u32) + 1
+    } else {
+        configured
+    }
 }
 
 /// Computes APSP: one SSSP per source plus random-delay scheduling.
 ///
 /// With `apsp_config.edge_budget_per_round == 0` the budget defaults to
-/// `⌈log₂ n⌉ + 1`.
+/// `⌈log₂ n⌉ + 1`. Instances run on `apsp_config.threads` OS threads (`0` =
+/// available parallelism); the result is bit-identical for every thread
+/// count, see the module docs.
+///
+/// # Errors
+///
+/// Propagates any SSSP failure (the first one in source order observed).
+pub fn apsp(
+    g: &Graph,
+    config: &AlgoConfig,
+    apsp_config: &ApspConfig,
+) -> Result<ApspRun, AlgoError> {
+    let n = g.node_count();
+    let budget = effective_budget(n, apsp_config.edge_budget_per_round);
+    let max_delay = apsp_config.max_delay.unwrap_or(n as u64).max(1);
+    let threads = resolve_threads(apsp_config.threads, n as usize);
+    let mut assembly = Assembly::new(n as usize, budget, max_delay, apsp_config.seed);
+
+    assemble(n, threads, &mut assembly, |i| run_instance(g, NodeId(i), config))?;
+    Ok(assembly.finish())
+}
+
+/// Runs instances `0..n` through `run` on `threads` OS threads and feeds the
+/// results into `assembly` in index order. With one thread everything happens
+/// on the calling thread; otherwise workers self-schedule indices off an
+/// atomic counter and send results over a channel, and the assembler replays
+/// them through a reorder buffer.
+///
+/// The buffer is kept at `O(threads)` entries even under skewed instance
+/// durations: a worker may only *start* instance `i` once the assembler's
+/// consumption watermark is within `2 × threads` of `i`, so completed
+/// results can never pile up behind one slow straggler — at most
+/// `window + threads` instance results (each `O(m)`) exist at once, which is
+/// what keeps the streaming pipeline's memory at `O(m + makespan)`.
+fn assemble<F>(n: u32, threads: usize, assembly: &mut Assembly, run: F) -> Result<(), AlgoError>
+where
+    F: Fn(u32) -> Result<InstanceRun, AlgoError> + Sync,
+{
+    if threads <= 1 {
+        for i in 0..n {
+            assembly.consume(i as usize, run(i)?);
+        }
+        return Ok(());
+    }
+
+    /// Sets the abort flag if its thread unwinds, so a panic in one instance
+    /// releases the workers parked on the backpressure watermark (the scope
+    /// join then re-raises the panic) instead of deadlocking the assembler.
+    struct AbortOnUnwind<'a>(&'a AtomicBool);
+    impl Drop for AbortOnUnwind<'_> {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                self.0.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+
+    let window = 2 * threads as u32;
+    let next_index = AtomicU32::new(0);
+    let consumed = AtomicU32::new(0);
+    let abort = AtomicBool::new(false);
+    let (tx, rx) = mpsc::channel::<(u32, Result<InstanceRun, AlgoError>)>();
+    let mut first_error: Option<(u32, AlgoError)> = None;
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next_index = &next_index;
+            let consumed = &consumed;
+            let abort = &abort;
+            let run = &run;
+            scope.spawn(move || {
+                let _guard = AbortOnUnwind(abort);
+                'work: loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = next_index.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    // Backpressure: wait until the assembler has caught up
+                    // to within the window. The instance holding up the
+                    // watermark is always an index below ours, so it is
+                    // already running on some thread and the watermark
+                    // eventually advances (or the run aborts).
+                    while i >= consumed.load(Ordering::Acquire).saturating_add(window) {
+                        if abort.load(Ordering::Relaxed) {
+                            break 'work;
+                        }
+                        std::thread::park_timeout(std::time::Duration::from_millis(1));
+                    }
+                    let result = run(i);
+                    if result.is_err() {
+                        abort.store(true, Ordering::Relaxed);
+                    }
+                    if tx.send((i, result)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+
+        let mut pending: BTreeMap<u32, InstanceRun> = BTreeMap::new();
+        let mut next_consume = 0u32;
+        for (index, result) in rx {
+            match result {
+                Ok(instance) => {
+                    pending.insert(index, instance);
+                    while let Some(instance) = pending.remove(&next_consume) {
+                        assembly.consume(next_consume as usize, instance);
+                        next_consume += 1;
+                    }
+                    consumed.store(next_consume, Ordering::Release);
+                }
+                Err(e) => match &first_error {
+                    // Keep the error of the smallest failing index, matching
+                    // what the sequential loop would have surfaced first.
+                    Some((seen, _)) if *seen <= index => {}
+                    _ => first_error = Some((index, e)),
+                },
+            }
+        }
+    });
+    match first_error {
+        Some((_, e)) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// The pre-rework APSP driver, retained as the differential oracle and the
+/// E12 baseline: runs the instances sequentially on the calling thread,
+/// materializes all `n` traces, and schedules them through the
+/// round-by-round [`schedule_reference`] loop.
+///
+/// Produces an [`ApspRun`] identical to [`apsp`]'s on every input.
 ///
 /// # Errors
 ///
 /// Propagates any SSSP failure.
-pub fn apsp(
+pub fn apsp_reference(
     g: &Graph,
     config: &AlgoConfig,
     apsp_config: &ApspConfig,
@@ -78,24 +343,19 @@ pub fn apsp(
     let mut total_messages = 0u64;
 
     for s in g.nodes() {
-        let run = sssp(g, s, config)?;
-        instance_rounds.push(run.metrics.rounds);
-        max_instance_congestion = max_instance_congestion.max(run.metrics.max_congestion());
-        total_messages += run.metrics.messages;
-        traces.push(spread_trace(&run.metrics.edge_congestion, run.metrics.rounds));
-        distances.push(run.output.distances);
+        let run = run_instance(g, s, config)?;
+        instance_rounds.push(run.rounds);
+        max_instance_congestion = max_instance_congestion.max(run.max_congestion);
+        total_messages += run.messages;
+        traces.push(run.trace);
+        distances.push(run.distances);
     }
 
-    let budget = if apsp_config.edge_budget_per_round == 0 {
-        ((n.max(2) as f64).log2().ceil() as u32) + 1
-    } else {
-        apsp_config.edge_budget_per_round
-    };
+    let budget = effective_budget(n, apsp_config.edge_budget_per_round);
     let max_delay = apsp_config.max_delay.unwrap_or(n as u64).max(1);
-    let schedule = random_delay_schedule(
-        &traces,
-        &ScheduleConfig { edge_capacity_per_round: budget, max_delay, seed: apsp_config.seed },
-    );
+    let mut rng = ChaCha8Rng::seed_from_u64(apsp_config.seed);
+    let delays: Vec<u64> = traces.iter().map(|_| draw_delay(&mut rng, max_delay)).collect();
+    let schedule = schedule_reference(&traces, &delays, budget);
     let sequential_rounds = instance_rounds.iter().sum();
 
     Ok(ApspRun {
@@ -111,32 +371,43 @@ pub fn apsp(
 /// Spreads each edge's total message count evenly over the instance's
 /// duration, producing a per-round usage trace consistent with the measured
 /// congestion and dilation.
+///
+/// The partition assigns message `k` of an edge's `total` to round
+/// `⌊k·R/total⌋` over the instance's `R` rounds, with per-round counts
+/// computed directly in `O(min(total, R))` per edge instead of pushing (and
+/// then coalescing) one entry per message:
+///
+/// * `total ≤ R`: consecutive messages land `R/total ≥ 1` rounds apart, so
+///   every occupied round carries exactly one message — emit the `total`
+///   rounds `⌊k·R/total⌋` directly.
+/// * `total > R`: every round is occupied and round `r` carries
+///   `ceil((r+1)·total/R) - ceil(r·total/R)` messages — walk the `R` round
+///   boundaries.
 fn spread_trace(edge_congestion: &[u64], rounds: u64) -> EdgeUsageTrace {
     let rounds = rounds.max(1) as usize;
     let mut per_round: Vec<Vec<(EdgeId, u32)>> = vec![Vec::new(); rounds];
+    let r128 = rounds as u128;
     for (e, &total) in edge_congestion.iter().enumerate() {
         if total == 0 {
             continue;
         }
-        for k in 0..total {
-            let r = ((k as u128 * rounds as u128) / total as u128) as usize;
-            per_round[r.min(rounds - 1)].push((EdgeId(e as u32), 1));
-        }
-    }
-    // Coalesce duplicates within a round.
-    for round in &mut per_round {
-        round.sort_by_key(|&(e, _)| e);
-        let mut merged: Vec<(EdgeId, u32)> = Vec::with_capacity(round.len());
-        for &(e, c) in round.iter() {
-            if let Some(last) = merged.last_mut() {
-                if last.0 == e {
-                    last.1 += c;
-                    continue;
-                }
+        let edge = EdgeId(e as u32);
+        let t128 = total as u128;
+        if t128 <= r128 {
+            for k in 0..total {
+                let r = ((k as u128 * r128) / t128) as usize;
+                per_round[r].push((edge, 1));
             }
-            merged.push((e, c));
+        } else {
+            let mut lo = 0u128; // ceil(0 * t / R)
+            for (r, bucket) in per_round.iter_mut().enumerate() {
+                let hi = ((r as u128 + 1) * t128).div_ceil(r128);
+                let count =
+                    u32::try_from(hi - lo).expect("per-round share fits the trace count type");
+                bucket.push((edge, count));
+                lo = hi;
+            }
         }
-        *round = merged;
     }
     EdgeUsageTrace { rounds: per_round }
 }
@@ -191,10 +462,168 @@ mod tests {
     }
 
     #[test]
+    fn parallel_and_sequential_drivers_are_bit_identical() {
+        let g = generators::with_random_weights(&generators::random_connected(18, 30, 4), 8, 11);
+        let algo = AlgoConfig::default();
+        let base = ApspConfig { seed: 13, ..ApspConfig::default() };
+        let reference = apsp_reference(&g, &algo, &base).unwrap();
+        for threads in [1usize, 2, 3, 7] {
+            let cfg = ApspConfig { threads, ..base.clone() };
+            let run = apsp(&g, &algo, &cfg).unwrap();
+            assert_eq!(run, reference, "driver diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn parallel_assembly_surfaces_instance_errors_and_stops() {
+        // Instances past index 5 fail: the parallel assembler must abort,
+        // drain cleanly, and surface the error instead of hanging.
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let attempts = AtomicU32::new(0);
+        let run = |i: u32| -> Result<InstanceRun, AlgoError> {
+            attempts.fetch_add(1, Ordering::Relaxed);
+            if i >= 5 {
+                return Err(AlgoError::EmptySourceSet);
+            }
+            Ok(InstanceRun {
+                distances: Vec::new(),
+                trace: EdgeUsageTrace::default(),
+                rounds: 1,
+                max_congestion: 0,
+                messages: 0,
+            })
+        };
+        let mut assembly = Assembly::new(64, 1, 1, 0);
+        assert!(matches!(assemble(64, 3, &mut assembly, run), Err(AlgoError::EmptySourceSet)));
+        // The abort flag keeps workers from grinding through all 64 indices.
+        assert!(attempts.load(Ordering::Relaxed) < 64);
+        // The sequential path surfaces the same error.
+        let mut assembly = Assembly::new(64, 1, 1, 0);
+        assert!(assemble(64, 1, &mut assembly, run).is_err());
+    }
+
+    #[test]
+    fn parallel_assembly_stays_bounded_under_skewed_instances() {
+        // Index 0 is a straggler: every other instance finishes instantly,
+        // so without backpressure the reorder buffer would absorb nearly all
+        // of the other 63 results while 0 runs. The consumption-watermark
+        // window forbids that: while 0 is unfinished the watermark is 0, so
+        // no index >= window may even start.
+        use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+        let threads = 4usize;
+        let window = 2 * threads as u32;
+        let zero_done = AtomicBool::new(false);
+        let max_started_while_blocked = AtomicU32::new(0);
+        let run = |i: u32| -> Result<InstanceRun, AlgoError> {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(40));
+                zero_done.store(true, Ordering::SeqCst);
+            } else if !zero_done.load(Ordering::SeqCst) {
+                max_started_while_blocked.fetch_max(i, Ordering::SeqCst);
+            }
+            Ok(InstanceRun {
+                distances: vec![Distance::Finite(i as u64)],
+                trace: EdgeUsageTrace { rounds: vec![vec![(EdgeId(0), 1)]] },
+                rounds: i as u64,
+                max_congestion: 1,
+                messages: 1,
+            })
+        };
+        let n = 64u32;
+        let mut parallel = Assembly::new(n as usize, 2, 17, 9);
+        assemble(n, threads, &mut parallel, run).unwrap();
+        zero_done.store(false, Ordering::SeqCst); // irrelevant for 1 thread
+        let mut sequential = Assembly::new(n as usize, 2, 17, 9);
+        assemble(n, 1, &mut sequential, run).unwrap();
+        assert_eq!(parallel.finish(), sequential.finish());
+        let peak = max_started_while_blocked.load(Ordering::SeqCst);
+        assert!(peak < window, "index {peak} started while the watermark was held at 0");
+    }
+
+    #[test]
+    #[should_panic] // scope re-raises with its own "a scoped thread panicked" payload
+    fn parallel_assembly_propagates_instance_panics() {
+        // A panicking instance must bring the whole call down (via the scope
+        // join), not deadlock workers parked on the backpressure watermark.
+        // A regression here shows up as this test hanging.
+        let run = |i: u32| -> Result<InstanceRun, AlgoError> {
+            if i == 7 {
+                panic!("instance 7 exploded");
+            }
+            Ok(InstanceRun {
+                distances: Vec::new(),
+                trace: EdgeUsageTrace::default(),
+                rounds: 1,
+                max_congestion: 0,
+                messages: 0,
+            })
+        };
+        let mut assembly = Assembly::new(64, 1, 1, 0);
+        let _ = assemble(64, 3, &mut assembly, run);
+    }
+
+    #[test]
+    fn planned_threads_reports_the_resolved_count() {
+        let auto = ApspConfig::default();
+        let host = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        assert_eq!(planned_threads(&auto, 1024), host.min(1024));
+        let fixed = ApspConfig { threads: 3, ..ApspConfig::default() };
+        assert_eq!(planned_threads(&fixed, 1024), 3);
+        assert_eq!(planned_threads(&fixed, 2), 2, "capped by the instance count");
+    }
+
+    #[test]
+    fn parallel_assembly_consumes_in_index_order() {
+        // Deterministic assembly: regardless of which thread finishes first,
+        // instance i must land at index i with the delay stream drawn in
+        // index order. Distinguishable instances (rounds = i) pin this.
+        let run = |i: u32| -> Result<InstanceRun, AlgoError> {
+            Ok(InstanceRun {
+                distances: vec![Distance::Finite(i as u64)],
+                trace: EdgeUsageTrace { rounds: vec![vec![(EdgeId(0), 1)]] },
+                rounds: i as u64,
+                max_congestion: 1,
+                messages: 1,
+            })
+        };
+        let mut sequential = Assembly::new(40, 2, 17, 9);
+        assemble(40, 1, &mut sequential, run).unwrap();
+        let mut parallel = Assembly::new(40, 2, 17, 9);
+        assemble(40, 4, &mut parallel, run).unwrap();
+        assert_eq!(parallel.finish(), sequential.finish());
+    }
+
+    #[test]
     fn spread_trace_preserves_totals() {
         let trace = spread_trace(&[3, 0, 7], 5);
         assert_eq!(trace.len(), 5);
         assert_eq!(trace.total_messages(), 10);
         assert_eq!(trace.max_edge_total(), 7);
+    }
+
+    #[test]
+    fn spread_trace_matches_the_per_message_partition() {
+        // The direct per-round counts must equal assigning message k to round
+        // floor(k * R / total) and coalescing — the pre-rework construction.
+        for (total, rounds) in
+            [(1u64, 1u64), (3, 5), (5, 3), (7, 7), (10, 4), (1, 9), (100, 13), (13, 100)]
+        {
+            let direct = spread_trace(&[total], rounds);
+            let r = rounds.max(1) as usize;
+            let mut naive = vec![0u32; r];
+            for k in 0..total {
+                let slot = ((k as u128 * r as u128) / total as u128) as usize;
+                naive[slot.min(r - 1)] += 1;
+            }
+            let expected: Vec<Vec<(EdgeId, u32)>> = naive
+                .into_iter()
+                .map(|c| if c > 0 { vec![(EdgeId(0), c)] } else { Vec::new() })
+                .collect();
+            assert_eq!(
+                direct.rounds, expected,
+                "partition mismatch for total {total} over {rounds} rounds"
+            );
+            assert_eq!(direct.total_messages(), total);
+        }
     }
 }

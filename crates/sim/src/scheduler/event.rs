@@ -1,0 +1,236 @@
+//! The event-driven scheduler core: arrival buckets + per-edge lazy queues.
+//!
+//! [`ScheduleBuilder`] accepts instance traces one at a time (each shifted by
+//! its start delay) and buckets every `(edge, count)` entry under its arrival
+//! round. [`ScheduleBuilder::finish`] then replays the buckets in round order,
+//! maintaining one queue per edge with *lazy* service draining: an edge's
+//! backlog is only touched when a new arrival lands on it, at which point the
+//! service of all rounds since its previous arrival is applied in O(1)
+//! arithmetic. Total cost is `O(trace entries + horizon)` and peak memory is
+//! `O(horizon + trace entries + edges)`, independent of the number of
+//! instances — the property that lets `n`-instance compositions stream traces
+//! through without materializing them all.
+//!
+//! The semantics are exactly those of the retained round-by-round oracle
+//! [`super::schedule_reference`]; the differential harness in
+//! `crates/sim/tests/scheduler_equivalence.rs` pins the equivalence.
+
+use congest_graph::EdgeId;
+
+use super::ScheduleOutcome;
+use crate::EdgeUsageTrace;
+
+/// An incremental random-delay schedule: push traces one at a time, then
+/// [`finish`](ScheduleBuilder::finish) into a [`ScheduleOutcome`].
+///
+/// Unlike [`super::schedule_with_delays`] (which it powers), the builder does
+/// not need all traces up front: each pushed trace is folded into per-round
+/// arrival buckets and can be dropped immediately by the caller.
+#[derive(Debug, Clone)]
+pub struct ScheduleBuilder {
+    capacity: u64,
+    /// `arrivals[r]` lists `(edge, messages)` arriving at scheduler round `r`
+    /// (already shifted by the owning instance's delay).
+    arrivals: Vec<Vec<(EdgeId, u64)>>,
+    /// Largest edge index seen, for sizing the dense per-edge arrays.
+    max_edge: usize,
+    horizon: u64,
+    sequential_rounds: u64,
+    dilation: u64,
+    total_messages: u64,
+    delays: Vec<u64>,
+}
+
+impl ScheduleBuilder {
+    /// Creates a builder for the given per-round per-edge capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is zero.
+    pub fn new(edge_capacity_per_round: u32) -> ScheduleBuilder {
+        assert!(edge_capacity_per_round > 0, "edge capacity must be positive");
+        ScheduleBuilder {
+            capacity: edge_capacity_per_round as u64,
+            arrivals: Vec::new(),
+            max_edge: 0,
+            horizon: 0,
+            sequential_rounds: 0,
+            dilation: 0,
+            total_messages: 0,
+            delays: Vec::new(),
+        }
+    }
+
+    /// Number of traces pushed so far.
+    pub fn instances(&self) -> usize {
+        self.delays.len()
+    }
+
+    /// Folds one instance trace, started after `delay` rounds, into the
+    /// arrival buckets. The trace can be dropped afterwards.
+    pub fn push_trace(&mut self, trace: &EdgeUsageTrace, delay: u64) {
+        let len = trace.len() as u64;
+        self.sequential_rounds += len;
+        self.dilation = self.dilation.max(len);
+        self.horizon = self.horizon.max(delay + len);
+        self.delays.push(delay);
+        for (local_round, entries) in trace.rounds.iter().enumerate() {
+            if entries.iter().all(|&(_, c)| c == 0) {
+                continue;
+            }
+            let round = (delay + local_round as u64) as usize;
+            if self.arrivals.len() <= round {
+                self.arrivals.resize_with(round + 1, Vec::new);
+            }
+            for &(e, c) in entries {
+                if c == 0 {
+                    continue;
+                }
+                self.max_edge = self.max_edge.max(e.index());
+                self.total_messages += c as u64;
+                self.arrivals[round].push((e, c as u64));
+            }
+        }
+    }
+
+    /// Replays the accumulated arrivals and returns the schedule outcome.
+    pub fn finish(self) -> ScheduleOutcome {
+        let ScheduleBuilder {
+            capacity,
+            arrivals,
+            max_edge,
+            horizon,
+            sequential_rounds,
+            dilation,
+            total_messages,
+            delays,
+        } = self;
+
+        if total_messages == 0 {
+            // No messages: nothing queues, the makespan is the horizon (the
+            // instances still occupy their full durations), and model rounds
+            // charge the megaround width as always.
+            return ScheduleOutcome {
+                makespan: horizon,
+                model_rounds: horizon.saturating_mul(capacity),
+                sequential_rounds,
+                dilation,
+                congestion: 0,
+                total_messages: 0,
+                max_edge_backlog: 0,
+                delays,
+            };
+        }
+
+        let edges = max_edge + 1;
+        // Dense per-edge state: pending backlog, the round of the edge's most
+        // recent arrival (service since then is applied lazily), and the
+        // total load (for the congestion statistic).
+        let mut backlog = vec![0u64; edges];
+        let mut last_arrival = vec![0u64; edges];
+        let mut total = vec![0u64; edges];
+        let mut max_backlog = 0u64;
+        let mut last_service_round = 0u64;
+
+        for (round, bucket) in arrivals.iter().enumerate() {
+            let round = round as u64;
+            for &(e, c) in bucket {
+                let ei = e.index();
+                total[ei] += c;
+                let b = backlog[ei];
+                if b > 0 {
+                    // Lazily apply the service of rounds last_arrival..round.
+                    let needed = b.div_ceil(capacity);
+                    let elapsed = round - last_arrival[ei];
+                    if needed <= elapsed {
+                        // The previous batch drained before this arrival; its
+                        // final service round ends a service span.
+                        last_service_round = last_service_round.max(last_arrival[ei] + needed - 1);
+                        backlog[ei] = 0;
+                    } else {
+                        backlog[ei] = b - capacity * elapsed;
+                    }
+                }
+                last_arrival[ei] = round;
+                backlog[ei] += c;
+                max_backlog = max_backlog.max(backlog[ei]);
+            }
+        }
+        // Drain whatever is still queued after the final arrivals.
+        for ei in 0..edges {
+            if backlog[ei] > 0 {
+                last_service_round =
+                    last_service_round.max(last_arrival[ei] + backlog[ei].div_ceil(capacity) - 1);
+            }
+        }
+
+        let congestion = total.iter().copied().max().unwrap_or(0);
+        let makespan = (last_service_round + 1).max(horizon);
+        ScheduleOutcome {
+            makespan,
+            model_rounds: makespan.saturating_mul(capacity),
+            sequential_rounds,
+            dilation,
+            congestion,
+            total_messages,
+            max_edge_backlog: max_backlog,
+            delays,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lazy_draining_tracks_interleaved_batches() {
+        // Edge 0: 5 messages at round 0, 2 more at round 2, capacity 2.
+        // Backlog: r0 = 5 (peak), serve 2; r1 = 3, serve 2; r2 = 1 + 2 = 3,
+        // serve 2; r3 = 1, serve 1 -> last service round 3, makespan 4.
+        let mut b = ScheduleBuilder::new(2);
+        b.push_trace(
+            &EdgeUsageTrace { rounds: vec![vec![(EdgeId(0), 5)], vec![], vec![(EdgeId(0), 2)]] },
+            0,
+        );
+        let out = b.finish();
+        assert_eq!(out.makespan, 4);
+        assert_eq!(out.max_edge_backlog, 5);
+        assert_eq!(out.congestion, 7);
+        assert_eq!(out.model_rounds, 8);
+    }
+
+    #[test]
+    fn batches_that_drain_before_the_next_arrival_finalize_their_span() {
+        // Edge 0: 2 messages at round 0 (drain by round 1), 1 at round 9.
+        // Last service round is 9, makespan 10, peak backlog 2.
+        let mut b = ScheduleBuilder::new(1);
+        let mut rounds = vec![vec![(EdgeId(0), 2)]];
+        rounds.extend(std::iter::repeat_with(Vec::new).take(8));
+        rounds.push(vec![(EdgeId(0), 1)]);
+        b.push_trace(&EdgeUsageTrace { rounds }, 0);
+        let out = b.finish();
+        assert_eq!(out.makespan, 10);
+        assert_eq!(out.max_edge_backlog, 2);
+    }
+
+    #[test]
+    fn zero_count_entries_are_ignored() {
+        let mut b = ScheduleBuilder::new(1);
+        b.push_trace(
+            &EdgeUsageTrace { rounds: vec![vec![(EdgeId(3), 0), (EdgeId(1), 0)], vec![]] },
+            4,
+        );
+        let out = b.finish();
+        assert_eq!(out.total_messages, 0);
+        assert_eq!(out.makespan, 6, "horizon = delay 4 + len 2");
+        assert_eq!(out.model_rounds, 6);
+        assert_eq!(out.congestion, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        let _ = ScheduleBuilder::new(0);
+    }
+}

@@ -17,16 +17,53 @@
 //! the capacity queue up. The resulting makespan is what the experiments
 //! report. This mirrors the paper's own use of scheduling as a black box on
 //! top of independently-correct low-congestion instances.
+//!
+//! # Execution model and cost
+//!
+//! Edges do not interact under this queueing discipline: each edge serves its
+//! own backlog at `capacity` messages per round, so the whole schedule
+//! decomposes into independent per-edge queues. The default implementation
+//! ([`schedule_with_delays`], built on [`ScheduleBuilder`]) exploits this: it
+//! buckets arrivals by scheduler round and replays each edge's queue
+//! *event-driven* with dense per-edge arrays and lazy service draining, so
+//! the cost is `O(trace entries + horizon)` — proportional to the messages
+//! that actually exist, **not** `O(horizon × instances)` like a round-by-round
+//! replay. The pre-rework round-by-round `HashMap` loop is retained as
+//! [`schedule_reference`], the oracle of the differential tests
+//! (`crates/sim/tests/scheduler_equivalence.rs`, mirroring the
+//! `Engine::run_reference` pattern).
+//!
+//! [`ScheduleBuilder`] additionally supports *streaming*: traces can be
+//! pushed one at a time (with their delay) and dropped immediately, so a
+//! caller composing `n` instances never has to hold all `n` traces in memory
+//! — only the arrival buckets, whose size is `O(makespan + total entries)`.
+//! `congest_sssp::apsp` uses exactly this to keep APSP memory near
+//! `O(m + makespan)`.
+//!
+//! # Makespan semantics
+//!
+//! The makespan is `max(last service round + 1, horizon)`, where the
+//! *horizon* is `max_i(delay_i + len_i)` over the instances. The `.max`
+//! clause means an instance occupies the schedule for its **full recorded
+//! duration**, including trailing message-free rounds: a trace that computes
+//! silently for its last rounds still holds the network until it ends, and a
+//! delayed instance holds it until `delay + len` even if its messages all
+//! clear early. [`ScheduleOutcome::model_rounds`] is always
+//! `makespan × capacity` — including for schedules with zero messages, whose
+//! makespan is still the horizon.
 
-use std::collections::HashMap;
-
-use congest_graph::EdgeId;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::EdgeUsageTrace;
+
+mod event;
+mod reference;
+
+pub use event::ScheduleBuilder;
+pub use reference::schedule_reference;
 
 /// Configuration of the random-delay scheduler.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -52,12 +89,15 @@ impl Default for ScheduleConfig {
 /// The outcome of scheduling a set of instance traces.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ScheduleOutcome {
-    /// Rounds until every instance's last message has been served, in
+    /// Rounds until every instance's last message has been served *and* every
+    /// instance's full duration (delay + trace length) has elapsed, in
     /// scheduler rounds (each carrying up to `edge_capacity_per_round`
-    /// messages per edge).
+    /// messages per edge). See the module docs on makespan semantics.
     pub makespan: u64,
     /// The makespan converted to model rounds: `makespan * edge_capacity`,
     /// i.e. charging the megaround width as the paper does (Section 3.1.3).
+    /// Always exactly `makespan * edge_capacity`, including for zero-message
+    /// schedules.
     pub model_rounds: u64,
     /// Sum of the individual instance lengths — the cost of running the
     /// instances one after another (the trivial sequential schedule).
@@ -75,6 +115,22 @@ pub struct ScheduleOutcome {
     pub delays: Vec<u64>,
 }
 
+/// Draws one instance start delay: uniform from `0..max_delay`, or a fixed
+/// 0 — consuming no randomness — when `max_delay` is 0 ("no delays").
+///
+/// This is **the** delay-draw convention: every composer that promises a
+/// delay stream identical to [`random_delay_schedule`]'s (the streaming and
+/// reference APSP drivers in `congest_sssp::apsp`) must call this helper
+/// rather than re-implementing the draw, so the bit-identical-outcome
+/// guarantees cannot drift apart.
+pub fn draw_delay<R: Rng>(rng: &mut R, max_delay: u64) -> u64 {
+    if max_delay == 0 {
+        0
+    } else {
+        rng.gen_range(0..max_delay)
+    }
+}
+
 /// Superimposes the given instance traces with random start delays and a
 /// per-round edge capacity, and returns the realized makespan.
 ///
@@ -84,15 +140,15 @@ pub fn random_delay_schedule(
     config: &ScheduleConfig,
 ) -> ScheduleOutcome {
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
-    let delays: Vec<u64> = traces
-        .iter()
-        .map(|_| if config.max_delay == 0 { 0 } else { rng.gen_range(0..config.max_delay) })
-        .collect();
+    let delays: Vec<u64> = traces.iter().map(|_| draw_delay(&mut rng, config.max_delay)).collect();
     schedule_with_delays(traces, &delays, config.edge_capacity_per_round)
 }
 
 /// Like [`random_delay_schedule`] but with caller-chosen delays (useful for
 /// testing the best/worst case and for the "no delays" baseline).
+///
+/// Runs the event-driven scheduler; [`schedule_reference`] is the retained
+/// round-by-round oracle with identical semantics.
 ///
 /// # Panics
 ///
@@ -103,104 +159,17 @@ pub fn schedule_with_delays(
     edge_capacity_per_round: u32,
 ) -> ScheduleOutcome {
     assert_eq!(traces.len(), delays.len(), "one delay per instance required");
-    assert!(edge_capacity_per_round > 0, "edge capacity must be positive");
-    let capacity = edge_capacity_per_round as u64;
-
-    let sequential_rounds: u64 = traces.iter().map(|t| t.len() as u64).sum();
-    let dilation: u64 = traces.iter().map(|t| t.len() as u64).max().unwrap_or(0);
-    let total_messages: u64 = traces.iter().map(|t| t.total_messages()).sum();
-
-    // Congestion: total load per edge across all instances.
-    let mut per_edge_total: HashMap<EdgeId, u64> = HashMap::new();
-    for t in traces {
-        for round in &t.rounds {
-            for &(e, c) in round {
-                *per_edge_total.entry(e).or_insert(0) += c as u64;
-            }
-        }
+    let mut builder = ScheduleBuilder::new(edge_capacity_per_round);
+    for (t, &d) in traces.iter().zip(delays) {
+        builder.push_trace(t, d);
     }
-    let congestion = per_edge_total.values().copied().max().unwrap_or(0);
-
-    if traces.is_empty() || total_messages == 0 {
-        return ScheduleOutcome {
-            makespan: traces
-                .iter()
-                .zip(delays)
-                .map(|(t, &d)| t.len() as u64 + d)
-                .max()
-                .unwrap_or(0),
-            model_rounds: 0,
-            sequential_rounds,
-            dilation,
-            congestion,
-            total_messages,
-            max_edge_backlog: 0,
-            delays: delays.to_vec(),
-        };
-    }
-
-    let horizon: u64 =
-        traces.iter().zip(delays).map(|(t, &d)| t.len() as u64 + d).max().unwrap_or(0);
-
-    let mut backlog: HashMap<EdgeId, u64> = HashMap::new();
-    let mut max_backlog = 0u64;
-    let mut last_service_round = 0u64;
-    let mut round = 0u64;
-    loop {
-        // Arrivals from every instance active at this scheduler round.
-        for (t, &d) in traces.iter().zip(delays) {
-            if round < d {
-                continue;
-            }
-            let local = (round - d) as usize;
-            if let Some(entry) = t.rounds.get(local) {
-                for &(e, c) in entry {
-                    *backlog.entry(e).or_insert(0) += c as u64;
-                }
-            }
-        }
-        let current_max = backlog.values().copied().max().unwrap_or(0);
-        max_backlog = max_backlog.max(current_max);
-        // Serve up to `capacity` messages per edge.
-        let mut any_served = false;
-        backlog.retain(|_, b| {
-            if *b > 0 {
-                let served = (*b).min(capacity);
-                *b -= served;
-                any_served = true;
-            }
-            *b > 0
-        });
-        if any_served {
-            last_service_round = round;
-        }
-        if round >= horizon && backlog.is_empty() {
-            break;
-        }
-        round += 1;
-        // Safety net: the backlog strictly decreases once arrivals stop, so
-        // this terminates; guard anyway against pathological inputs.
-        if round > horizon + total_messages + 1 {
-            break;
-        }
-    }
-
-    let makespan = (last_service_round + 1).max(horizon);
-    ScheduleOutcome {
-        makespan,
-        model_rounds: makespan.saturating_mul(capacity),
-        sequential_rounds,
-        dilation,
-        congestion,
-        total_messages,
-        max_edge_backlog: max_backlog,
-        delays: delays.to_vec(),
-    }
+    builder.finish()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use congest_graph::EdgeId;
 
     /// A trace that uses edge `e` once per round for `len` rounds.
     fn uniform_trace(e: u32, len: usize) -> EdgeUsageTrace {
@@ -211,6 +180,7 @@ mod tests {
     fn empty_input_gives_zero_outcome() {
         let out = random_delay_schedule(&[], &ScheduleConfig::default());
         assert_eq!(out.makespan, 0);
+        assert_eq!(out.model_rounds, 0);
         assert_eq!(out.total_messages, 0);
         assert_eq!(out.congestion, 0);
     }
@@ -293,5 +263,67 @@ mod tests {
         let b = random_delay_schedule(&traces, &cfg);
         assert_eq!(a.delays, b.delays);
         assert_eq!(a.makespan, b.makespan);
+    }
+
+    #[test]
+    fn zero_message_schedule_reports_consistent_model_rounds() {
+        // Regression: delay-shifted empty traces used to report
+        // `model_rounds: 0` while the makespan (= horizon) was nonzero.
+        let traces = vec![EdgeUsageTrace { rounds: vec![vec![], vec![], vec![]] }];
+        for capacity in [1u32, 4] {
+            let out = schedule_with_delays(&traces, &[7], capacity);
+            assert_eq!(out.makespan, 10, "horizon = delay + len");
+            assert_eq!(out.model_rounds, 10 * capacity as u64);
+            assert_eq!(out.total_messages, 0);
+            let reference = schedule_reference(&traces, &[7], capacity);
+            assert_eq!(out, reference);
+        }
+    }
+
+    #[test]
+    fn trailing_message_free_rounds_extend_the_makespan() {
+        // One message in round 0, then four silent rounds: the instance still
+        // occupies the schedule for its full five-round duration.
+        let t =
+            EdgeUsageTrace { rounds: vec![vec![(EdgeId(0), 1)], vec![], vec![], vec![], vec![]] };
+        let out = schedule_with_delays(std::slice::from_ref(&t), &[0], 1);
+        assert_eq!(out.makespan, 5, "trailing silence counts toward the horizon");
+        // With a delay the horizon shifts accordingly.
+        let delayed = schedule_with_delays(&[t], &[3], 1);
+        assert_eq!(delayed.makespan, 8);
+    }
+
+    #[test]
+    fn makespan_is_bounded_by_horizon_plus_service_time() {
+        // The termination bound the reference loop's safety net encodes:
+        // after the horizon no arrivals remain, so the worst edge drains in
+        // at most ceil(congestion / capacity) further rounds.
+        let traces: Vec<_> = (0..6).map(|_| uniform_trace(0, 9)).collect();
+        for capacity in [1u32, 2, 4] {
+            let out = schedule_with_delays(&traces, &[0, 1, 2, 3, 4, 5], capacity);
+            let horizon = 9 + 5;
+            assert!(out.makespan >= horizon as u64);
+            assert!(
+                out.makespan <= horizon as u64 + out.congestion.div_ceil(capacity as u64),
+                "makespan {} exceeds horizon {} + ceil(congestion {} / capacity {})",
+                out.makespan,
+                horizon,
+                out.congestion,
+                capacity
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_builder_matches_batch_scheduling() {
+        let traces: Vec<_> = (0..7).map(|e| uniform_trace(e % 3, 4 + e as usize)).collect();
+        let delays: Vec<u64> = (0..7).map(|i| (i * 3) % 11).collect();
+        let batch = schedule_with_delays(&traces, &delays, 2);
+        let mut builder = ScheduleBuilder::new(2);
+        for (t, &d) in traces.iter().zip(&delays) {
+            builder.push_trace(t, d);
+        }
+        assert_eq!(builder.instances(), 7);
+        assert_eq!(builder.finish(), batch);
     }
 }

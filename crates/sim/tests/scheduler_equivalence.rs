@@ -1,0 +1,192 @@
+//! Differential testing of the event-driven scheduler against the retained
+//! round-by-round reference loop.
+//!
+//! Random trace sets (random lengths, sparse per-round edge usage including
+//! zero-count entries and empty rounds), random delays, and random capacities
+//! run through both [`schedule_with_delays`] (event-driven, via
+//! `ScheduleBuilder`) and [`schedule_reference`]. The two must produce
+//! identical [`ScheduleOutcome`]s — makespan, model rounds, congestion,
+//! dilation, peak backlog, everything. A fixed matrix of edge cases (empty
+//! input, all-zero traces, capacity far above the congestion, single
+//! instance, trailing message-free rounds, adversarial same-edge pileups)
+//! complements the random sweep.
+
+use congest_graph::EdgeId;
+use congest_sim::scheduler::{schedule_reference, schedule_with_delays, ScheduleOutcome};
+use congest_sim::EdgeUsageTrace;
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Generates a pseudo-random trace set plus per-instance delays from a seed.
+fn random_workload(
+    seed: u64,
+    instances: usize,
+    max_len: usize,
+    edge_span: u32,
+    max_delay: u64,
+) -> (Vec<EdgeUsageTrace>, Vec<u64>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut traces = Vec::with_capacity(instances);
+    let mut delays = Vec::with_capacity(instances);
+    for _ in 0..instances {
+        let len = rng.gen_range(0..=max_len);
+        let mut rounds = Vec::with_capacity(len);
+        for _ in 0..len {
+            let entries = rng.gen_range(0..4usize);
+            let mut round = Vec::with_capacity(entries);
+            for _ in 0..entries {
+                // Zero counts are deliberately included: they must be inert
+                // in both schedulers.
+                round.push((EdgeId(rng.gen_range(0..edge_span)), rng.gen_range(0..5u32)));
+            }
+            rounds.push(round);
+        }
+        traces.push(EdgeUsageTrace { rounds });
+        delays.push(if max_delay == 0 { 0 } else { rng.gen_range(0..max_delay) });
+    }
+    (traces, delays)
+}
+
+/// Runs both schedulers and asserts identical outcomes; returns the outcome
+/// so callers can pile on further invariants.
+fn assert_schedulers_equivalent(
+    traces: &[EdgeUsageTrace],
+    delays: &[u64],
+    capacity: u32,
+) -> ScheduleOutcome {
+    let event = schedule_with_delays(traces, delays, capacity);
+    let reference = schedule_reference(traces, delays, capacity);
+    assert_eq!(
+        event, reference,
+        "event-driven and reference schedulers diverged (capacity {capacity})"
+    );
+    event
+}
+
+/// Invariants every outcome must satisfy regardless of input.
+fn assert_outcome_invariants(out: &ScheduleOutcome, capacity: u32) {
+    assert_eq!(out.model_rounds, out.makespan * capacity as u64);
+    assert!(out.dilation <= out.makespan);
+    assert!(out.congestion <= out.total_messages);
+    assert!(out.max_edge_backlog <= out.total_messages);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn schedulers_agree_on_random_workloads(
+        seed in 0u64..1_000_000,
+        instances in 0usize..12,
+        max_len in 0usize..10,
+        edge_span in 1u32..8,
+        max_delay in 0u64..20,
+        capacity in 1u32..5,
+    ) {
+        let (traces, delays) = random_workload(seed, instances, max_len, edge_span, max_delay);
+        let out = assert_schedulers_equivalent(&traces, &delays, capacity);
+        assert_outcome_invariants(&out, capacity);
+        // Termination/tightness bound: once arrivals stop (at the horizon),
+        // the worst edge drains in ceil(congestion / capacity) rounds.
+        let horizon = traces
+            .iter()
+            .zip(&delays)
+            .map(|(t, &d)| t.len() as u64 + d)
+            .max()
+            .unwrap_or(0);
+        prop_assert!(
+            out.makespan <= horizon + out.congestion.div_ceil(capacity as u64),
+            "makespan {} beyond horizon {} + ceil({} / {})",
+            out.makespan, horizon, out.congestion, capacity
+        );
+    }
+
+    #[test]
+    fn schedulers_agree_on_contended_single_edge_workloads(
+        seed in 0u64..1_000_000,
+        instances in 1usize..16,
+        capacity in 1u32..4,
+    ) {
+        // Everything on edge 0: maximal queueing, exercises long lazy drains.
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let traces: Vec<EdgeUsageTrace> = (0..instances)
+            .map(|_| {
+                let len = rng.gen_range(1..8usize);
+                EdgeUsageTrace {
+                    rounds: (0..len)
+                        .map(|_| vec![(EdgeId(0), rng.gen_range(0..6u32))])
+                        .collect(),
+                }
+            })
+            .collect();
+        let delays: Vec<u64> = (0..instances).map(|_| rng.gen_range(0..6u64)).collect();
+        let out = assert_schedulers_equivalent(&traces, &delays, capacity);
+        assert_outcome_invariants(&out, capacity);
+    }
+}
+
+#[test]
+fn schedulers_agree_on_edge_case_matrix() {
+    let burst = |e: u32, c: u32| EdgeUsageTrace { rounds: vec![vec![(EdgeId(e), c)]] };
+    let silent = |len: usize| EdgeUsageTrace { rounds: vec![Vec::new(); len] };
+    let cases: Vec<(&str, Vec<EdgeUsageTrace>, Vec<u64>)> = vec![
+        ("empty input", vec![], vec![]),
+        ("single empty trace", vec![EdgeUsageTrace::default()], vec![0]),
+        ("single empty trace, delayed", vec![EdgeUsageTrace::default()], vec![9]),
+        ("all-zero counts", vec![EdgeUsageTrace { rounds: vec![vec![(EdgeId(2), 0)]] }], vec![3]),
+        ("message-free rounds only", vec![silent(5), silent(2)], vec![1, 7]),
+        ("single instance", vec![burst(0, 4)], vec![0]),
+        ("single instance, delayed", vec![burst(3, 7)], vec![11]),
+        (
+            "trailing silence after a burst",
+            vec![EdgeUsageTrace {
+                rounds: vec![vec![(EdgeId(0), 9)], vec![], vec![], vec![], vec![]],
+            }],
+            vec![0],
+        ),
+        ("pileup on one edge", (0..6).map(|_| burst(1, 3)).collect(), vec![0, 0, 1, 1, 2, 2]),
+        ("disjoint edges", (0..5).map(|e| burst(e, 2)).collect(), vec![0, 1, 2, 3, 4]),
+    ];
+    for capacity in [1u32, 2, 7, 1000] {
+        for (label, traces, delays) in &cases {
+            let out = assert_schedulers_equivalent(traces, delays, capacity);
+            assert_eq!(
+                out.model_rounds,
+                out.makespan * capacity as u64,
+                "model-round consistency broken for case {label:?} at capacity {capacity}"
+            );
+        }
+    }
+}
+
+#[test]
+fn huge_capacity_collapses_makespan_to_the_horizon() {
+    // Capacity far above the congestion: every arrival is served the round it
+    // lands, so the makespan is exactly the horizon.
+    let traces: Vec<EdgeUsageTrace> =
+        (0..8).map(|_| EdgeUsageTrace { rounds: vec![vec![(EdgeId(0), 3)]; 4] }).collect();
+    let delays = vec![0, 1, 2, 3, 4, 5, 6, 7];
+    let out = assert_schedulers_equivalent(&traces, &delays, 10_000);
+    assert_eq!(out.makespan, 4 + 7, "horizon = max(len + delay)");
+    // Everything is served the round it arrives, so the peak backlog is the
+    // largest single-round arrival: 4 overlapping instances x 3 messages.
+    assert_eq!(out.max_edge_backlog, 12);
+    assert_eq!(out.model_rounds, out.makespan * 10_000);
+}
+
+#[test]
+fn event_scheduler_handles_sparse_far_apart_arrivals_cheaply() {
+    // Two arrivals 50k rounds apart: the event scheduler's cost is a handful
+    // of bucket entries (plus the bucket vector), not 50k x instances trace
+    // probes per round. This is a correctness check that distant batches
+    // still finalize their service spans properly.
+    let mut rounds = vec![vec![(EdgeId(0), 5)]];
+    rounds.extend(std::iter::repeat_with(Vec::new).take(50_000 - 1));
+    rounds.push(vec![(EdgeId(0), 2)]);
+    let traces = vec![EdgeUsageTrace { rounds }];
+    let out = assert_schedulers_equivalent(&traces, &[0], 1);
+    assert_eq!(out.makespan, 50_002, "second batch serves at rounds 50000-50001");
+    assert_eq!(out.max_edge_backlog, 5);
+    assert_eq!(out.congestion, 7);
+}
