@@ -1,11 +1,11 @@
 //! E1: wall-clock of simulating the paper's recursive CSSP vs the baselines
 //! (the *simulated-round* tables are produced by the `experiments` binary).
+//! The solvers come from the registry, so a new exact weighted solver joins
+//! this bench automatically.
 
 use congest_bench::weighted_workload;
 use congest_graph::NodeId;
-use congest_sssp::baseline::{distributed_bellman_ford, distributed_dijkstra};
-use congest_sssp::cssp::cssp;
-use congest_sssp::AlgoConfig;
+use congest_sssp::{registry, AlgoConfig, Solver};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_sssp(c: &mut Criterion) {
@@ -14,15 +14,21 @@ fn bench_sssp(c: &mut Criterion) {
     group.sample_size(10);
     for n in [32u32, 64, 128] {
         let g = weighted_workload(n, 7);
-        group.bench_with_input(BenchmarkId::new("recursive_cssp", n), &g, |b, g| {
-            b.iter(|| cssp(g, &[NodeId(0)], &cfg).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("bellman_ford", n), &g, |b, g| {
-            b.iter(|| distributed_bellman_ford(g, &[NodeId(0)], &cfg).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("distributed_dijkstra", n), &g, |b, g| {
-            b.iter(|| distributed_dijkstra(g, &[NodeId(0)], &cfg).unwrap())
-        });
+        for info in registry()
+            .iter()
+            .filter(|i| i.weighted && i.exact() && !i.sleeping_model && !i.all_pairs)
+        {
+            group.bench_with_input(BenchmarkId::new(info.name, n), &g, |b, g| {
+                b.iter(|| {
+                    Solver::on(g)
+                        .algorithm(info.algorithm)
+                        .source(NodeId(0))
+                        .config(cfg.clone())
+                        .run()
+                        .unwrap()
+                })
+            });
+        }
     }
     group.finish();
 }

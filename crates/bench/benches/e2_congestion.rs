@@ -1,12 +1,10 @@
 //! E2/E3: congestion and message complexity on the Bellman–Ford-adversarial
 //! workload (simulated-round tables come from the `experiments` binary; this
-//! bench times the runs).
+//! bench times the runs through the `Solver` facade).
 
 use congest_bench::bellman_ford_adversarial;
 use congest_graph::NodeId;
-use congest_sssp::baseline::distributed_bellman_ford;
-use congest_sssp::cssp::cssp;
-use congest_sssp::AlgoConfig;
+use congest_sssp::{AlgoConfig, Algorithm, Solver};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_congestion(c: &mut Criterion) {
@@ -15,18 +13,19 @@ fn bench_congestion(c: &mut Criterion) {
     group.sample_size(10);
     for n in [64u32, 128] {
         let g = bellman_ford_adversarial(n);
-        group.bench_with_input(BenchmarkId::new("recursive_cssp", n), &g, |b, g| {
-            b.iter(|| {
-                let run = cssp(g, &[NodeId(0)], &cfg).unwrap();
-                run.metrics.max_congestion()
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("bellman_ford", n), &g, |b, g| {
-            b.iter(|| {
-                let run = distributed_bellman_ford(g, &[NodeId(0)], &cfg).unwrap();
-                run.metrics.max_congestion()
-            })
-        });
+        for algorithm in [Algorithm::Cssp, Algorithm::BellmanFord] {
+            group.bench_with_input(BenchmarkId::new(algorithm.name(), n), &g, |b, g| {
+                b.iter(|| {
+                    let run = Solver::on(g)
+                        .algorithm(algorithm)
+                        .source(NodeId(0))
+                        .config(cfg.clone())
+                        .run()
+                        .unwrap();
+                    run.report.max_congestion
+                })
+            });
+        }
     }
     group.finish();
 }

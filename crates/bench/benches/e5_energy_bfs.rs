@@ -1,7 +1,8 @@
-//! E5: low-energy BFS vs always-awake BFS.
+//! E5: low-energy BFS vs always-awake BFS, both through the `Solver` facade
+//! (the registry's BFS-family solvers).
 
 use congest_graph::{generators, NodeId};
-use congest_sssp::{bfs, energy, AlgoConfig};
+use congest_sssp::{registry, AlgoConfig, Solver};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_energy_bfs(c: &mut Criterion) {
@@ -10,12 +11,19 @@ fn bench_energy_bfs(c: &mut Criterion) {
     group.sample_size(10);
     for n in [64u32, 128] {
         let g = generators::path(n, 1);
-        group.bench_with_input(BenchmarkId::new("low_energy_bfs", n), &g, |b, g| {
-            b.iter(|| energy::low_energy_bfs(g, &[NodeId(0)], n as u64, &cfg).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("always_awake_bfs", n), &g, |b, g| {
-            b.iter(|| bfs::bfs(g, &[NodeId(0)], &cfg).unwrap())
-        });
+        for info in registry().iter().filter(|i| !i.weighted) {
+            group.bench_with_input(BenchmarkId::new(info.name, n), &g, |b, g| {
+                b.iter(|| {
+                    Solver::on(g)
+                        .algorithm(info.algorithm)
+                        .source(NodeId(0))
+                        .threshold(n as u64)
+                        .config(cfg.clone())
+                        .run()
+                        .unwrap()
+                })
+            });
+        }
     }
     group.finish();
 }

@@ -1,11 +1,12 @@
 //! E7/E12: APSP via `n` concurrent SSSP instances under random-delay
-//! scheduling — both the reworked parallel streaming driver and the retained
-//! reference driver (sequential instances + round-by-round scheduler), so
-//! `cargo bench` shows the pipeline gap at small sizes too.
+//! scheduling — the production pipeline through the `Solver` facade
+//! (parallel streaming driver) and the retained reference driver (sequential
+//! instances + round-by-round scheduler), so `cargo bench` shows the
+//! pipeline gap at small sizes too.
 
 use congest_bench::weighted_workload;
-use congest_sssp::apsp::{apsp, apsp_reference, ApspConfig};
-use congest_sssp::AlgoConfig;
+use congest_sssp::apsp::{apsp_reference, ApspConfig};
+use congest_sssp::{AlgoConfig, Algorithm, Solver};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_apsp(c: &mut Criterion) {
@@ -16,7 +17,14 @@ fn bench_apsp(c: &mut Criterion) {
     for n in [16u32, 24] {
         let g = weighted_workload(n, 3);
         group.bench_with_input(BenchmarkId::new("parallel_streaming", n), &g, |b, g| {
-            b.iter(|| apsp(g, &cfg, &apsp_cfg).unwrap())
+            b.iter(|| {
+                Solver::on(g)
+                    .algorithm(Algorithm::Apsp)
+                    .config(cfg.clone())
+                    .apsp_config(apsp_cfg.clone())
+                    .run()
+                    .unwrap()
+            })
         });
         group.bench_with_input(BenchmarkId::new("reference_driver", n), &g, |b, g| {
             b.iter(|| apsp_reference(g, &cfg, &apsp_cfg).unwrap())

@@ -6,86 +6,39 @@
 //! cargo run --release -p congest-bench --bin experiments            # quick
 //! cargo run --release -p congest-bench --bin experiments -- full    # full sweep
 //! cargo run --release -p congest-bench --bin experiments -- full json  # + JSON dump
+//! cargo run --release -p congest-bench --bin experiments -- list-algorithms
+//! #   prints the solver registry with its capability flags
 //! cargo run --release -p congest-bench --bin experiments -- engine-json
 //! #   runs only E11 (engine throughput) and writes BENCH_engine.json
 //! cargo run --release -p congest-bench --bin experiments -- apsp-json
 //! #   runs only E12 (APSP throughput, n = 512) and writes BENCH_apsp.json
 //! ```
+//!
+//! All rows render through the generic `congest_bench::table` formatter, so
+//! this binary contains no per-algorithm result plumbing — experiments are
+//! registry iterations plus experiment-specific parameters (see
+//! `congest_bench`). JSON artifacts land in `BENCH_OUT_DIR` when that
+//! environment variable is set, in the current directory otherwise.
 
+use congest_bench::table::{render, TableRow};
 use congest_bench::{
-    e10_recursion, e11_engine_throughput, e12_apsp_throughput, e12_apsp_throughput_at,
-    e1_e3_sssp_comparison, e4_cutter, e5_energy_bfs, e6_energy_cssp, e7_apsp, e8_cover_quality,
-    e9_spanning_forest, ApspThroughputRow, Scale, ThroughputRow,
+    bench_out_path, e10_recursion, e11_engine_throughput, e12_apsp_throughput,
+    e12_apsp_throughput_at, e1_e3_sssp_comparison, e4_cutter, e5_energy_bfs, e6_energy_cssp,
+    e7_apsp, e8_cover_quality, e9_spanning_forest, json::array, Scale,
 };
+use congest_sssp::registry;
 
-fn print_e11(rows: &[ThroughputRow]) {
-    println!("\n## E11: engine throughput (active-set vs reference core)\n");
-    println!("| workload | engine | n | m | rounds | messages | lost | max energy | wall ms | node-rounds/s | speedup | metrics match |");
-    println!("|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|");
-    for r in rows {
-        println!(
-            "| {} | {} | {} | {} | {} | {} | {} | {} | {:.2} | {:.3e} | {:.1}x | {} |",
-            r.workload,
-            r.engine,
-            r.n,
-            r.m,
-            r.rounds,
-            r.messages,
-            r.messages_lost,
-            r.max_energy,
-            r.wall_ms,
-            r.node_rounds_per_sec,
-            r.speedup_vs_reference,
-            r.metrics_match
-        );
-    }
+/// Prints one titled markdown table.
+fn print_section<R: TableRow>(title: &str, rows: &[R]) {
+    println!("\n## {title}\n");
+    print!("{}", render(rows));
 }
 
-/// Writes the E11 rows to `BENCH_engine.json` so CI can archive the engine
-/// perf trajectory (both engines' wall-clock numbers are in the rows).
-fn write_engine_json(rows: &[ThroughputRow], scale: Scale) {
-    use congest_bench::json::array;
-    let body = format!(
-        "{{\"experiment\": \"e11_engine_throughput\", \"scale\": \"{scale:?}\", \"rows\": {}}}",
-        array(rows)
-    );
-    std::fs::write("BENCH_engine.json", body).expect("write BENCH_engine.json");
-    eprintln!("wrote BENCH_engine.json");
-}
-
-fn print_e12(rows: &[ApspThroughputRow]) {
-    println!("\n## E12: APSP throughput (parallel streaming driver vs reference driver)\n");
-    println!("| n | m | driver | threads | wall ms | makespan | model rounds | sequential rounds | messages | speedup | results match |");
-    println!("|---:|---:|---|---:|---:|---:|---:|---:|---:|---:|---:|");
-    for r in rows {
-        println!(
-            "| {} | {} | {} | {} | {:.1} | {} | {} | {} | {} | {:.2}x | {} |",
-            r.n,
-            r.m,
-            r.driver,
-            r.threads,
-            r.wall_ms,
-            r.makespan,
-            r.model_rounds,
-            r.sequential_rounds,
-            r.total_messages,
-            r.speedup_vs_reference,
-            r.results_match
-        );
-    }
-}
-
-/// Writes the E12 rows to `BENCH_apsp.json` so CI can archive the APSP
-/// pipeline's perf trajectory (both drivers' wall-clock numbers are in the
-/// rows).
-fn write_apsp_json(rows: &[ApspThroughputRow], label: &str) {
-    use congest_bench::json::array;
-    let body = format!(
-        "{{\"experiment\": \"e12_apsp_throughput\", \"scale\": \"{label}\", \"rows\": {}}}",
-        array(rows)
-    );
-    std::fs::write("BENCH_apsp.json", body).expect("write BENCH_apsp.json");
-    eprintln!("wrote BENCH_apsp.json");
+/// Writes a JSON artifact to `BENCH_OUT_DIR` (or the CWD).
+fn write_artifact(file_name: &str, body: String) {
+    let path = bench_out_path(file_name);
+    std::fs::write(&path, body).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    eprintln!("wrote {}", path.display());
 }
 
 fn main() {
@@ -93,14 +46,28 @@ fn main() {
     let scale = if args.iter().any(|a| a == "full") { Scale::Full } else { Scale::Quick };
     let json = args.iter().any(|a| a == "json");
 
+    if args.iter().any(|a| a == "list-algorithms") {
+        // Registry smoke: every algorithm the Solver facade can run, with
+        // its capability flags (used by CI and by sweep tooling).
+        println!("# Algorithm registry ({} algorithms)\n", registry().len());
+        print!("{}", render(registry()));
+        return;
+    }
+
     if args.iter().any(|a| a == "engine-json") {
         // CI mode: only the engine-throughput experiment, plus its artifact.
         // This is also the release-mode gate on the refactor's acceptance
         // bar, so it fails loudly rather than archiving a regression green.
         println!("# Experiment tables ({scale:?} scale)");
         let e11 = e11_engine_throughput(scale);
-        print_e11(&e11);
-        write_engine_json(&e11, scale);
+        print_section("E11: engine throughput (active-set vs reference core)", &e11);
+        write_artifact(
+            "BENCH_engine.json",
+            format!(
+                "{{\"experiment\": \"e11_engine_throughput\", \"scale\": \"{scale:?}\", \"rows\": {}}}",
+                array(&e11)
+            ),
+        );
         assert!(
             e11.iter().all(|r| r.metrics_match),
             "active-set and reference engines diverged; see the table above"
@@ -123,8 +90,14 @@ fn main() {
         // or a wall-clock regression rather than archiving it green.
         println!("# Experiment tables (APSP gate, n = 512)");
         let e12 = e12_apsp_throughput_at(&[512]);
-        print_e12(&e12);
-        write_apsp_json(&e12, "Gate512");
+        print_section("E12: APSP throughput (parallel streaming driver vs reference driver)", &e12);
+        write_artifact(
+            "BENCH_apsp.json",
+            format!(
+                "{{\"experiment\": \"e12_apsp_throughput\", \"scale\": \"Gate512\", \"rows\": {}}}",
+                array(&e12)
+            ),
+        );
         assert!(
             e12.iter().all(|r| r.results_match),
             "parallel-streaming and reference APSP drivers diverged; see the table above"
@@ -154,164 +127,33 @@ fn main() {
         return;
     }
 
-    println!("# Experiment tables ({scale:?} scale)\n");
+    println!("# Experiment tables ({scale:?} scale)");
 
     let e1 = e1_e3_sssp_comparison(scale);
-    println!("## E1-E3: SSSP time, congestion, and messages vs baselines\n");
-    println!(
-        "| workload | algorithm | n | m | rounds | messages | max congestion | max energy | lost |"
-    );
-    println!("|---|---|---:|---:|---:|---:|---:|---:|---:|");
-    for r in &e1 {
-        println!(
-            "| {} | {} | {} | {} | {} | {} | {} | {} | {} |",
-            r.workload,
-            r.algorithm,
-            r.n,
-            r.m,
-            r.rounds,
-            r.messages,
-            r.max_congestion,
-            r.max_energy,
-            r.messages_lost
-        );
-    }
-
+    print_section("E1-E3: SSSP time, congestion, and messages vs baselines", &e1);
     let e4 = e4_cutter(scale);
-    println!("\n## E4: approximate cutter (Lemma 2.1)\n");
-    println!("| n | W | 1/eps | rounds | max congestion | error bound | max observed error | dropped within 2W |");
-    println!("|---:|---:|---:|---:|---:|---:|---:|---:|");
-    for r in &e4 {
-        println!(
-            "| {} | {} | {} | {} | {} | {} | {} | {} |",
-            r.n,
-            r.w,
-            r.eps_inverse,
-            r.rounds,
-            r.max_congestion,
-            r.error_bound,
-            r.max_observed_error,
-            r.dropped_within_2w
-        );
-    }
-
+    print_section("E4: approximate cutter (Lemma 2.1)", &e4);
     let e5 = e5_energy_bfs(scale);
-    println!("\n## E5: low-energy BFS vs always-awake BFS\n");
-    println!("| workload | algorithm | n | D | rounds | max energy | mean energy | slowdown | megaround | levels |");
-    println!("|---|---|---:|---:|---:|---:|---:|---:|---:|---:|");
-    for r in &e5 {
-        println!(
-            "| {} | {} | {} | {} | {} | {} | {:.1} | {} | {} | {} |",
-            r.workload,
-            r.algorithm,
-            r.n,
-            r.diameter,
-            r.rounds,
-            r.max_energy,
-            r.mean_energy,
-            r.slowdown,
-            r.megaround,
-            r.cover_levels
-        );
-    }
-
+    print_section("E5: low-energy BFS vs always-awake BFS", &e5);
     let e6 = e6_energy_cssp(scale);
-    println!("\n## E6: low-energy weighted CSSP vs always-awake Bellman-Ford\n");
-    println!("| algorithm | n | D | rounds | max energy | mean energy | megaround | levels |");
-    println!("|---|---:|---:|---:|---:|---:|---:|---:|");
-    for r in &e6 {
-        println!(
-            "| {} | {} | {} | {} | {} | {:.1} | {} | {} |",
-            r.algorithm,
-            r.n,
-            r.diameter,
-            r.rounds,
-            r.max_energy,
-            r.mean_energy,
-            r.megaround,
-            r.cover_levels
-        );
-    }
-
+    print_section("E6: low-energy weighted CSSP vs always-awake Bellman-Ford", &e6);
     let e7 = e7_apsp(scale);
-    println!("\n## E7: APSP via random-delay scheduling\n");
-    println!("| n | m | edge budget/round | concurrent makespan | sequential rounds | speedup | max instance congestion |");
-    println!("|---:|---:|---:|---:|---:|---:|---:|");
-    for r in &e7 {
-        println!(
-            "| {} | {} | {} | {} | {} | {:.2} | {} |",
-            r.n,
-            r.m,
-            r.edge_budget,
-            r.concurrent_makespan,
-            r.sequential_rounds,
-            r.speedup,
-            r.max_instance_congestion
-        );
-    }
-
+    print_section("E7: APSP via random-delay scheduling", &e7);
     let e8 = e8_cover_quality(scale);
-    println!("\n## E8: sparse-cover quality\n");
-    println!("| n | d | clusters | colors | max membership | mean membership | max tree depth | stretch | max edge tree load |");
-    println!("|---:|---:|---:|---:|---:|---:|---:|---:|---:|");
-    for r in &e8 {
-        println!(
-            "| {} | {} | {} | {} | {} | {:.2} | {} | {:.1} | {} |",
-            r.n,
-            r.d,
-            r.clusters,
-            r.colors,
-            r.max_membership,
-            r.mean_membership,
-            r.max_tree_depth,
-            r.stretch,
-            r.max_edge_tree_load
-        );
-    }
-
+    print_section("E8: sparse-cover quality", &e8);
     let e9 = e9_spanning_forest(scale);
-    println!("\n## E9: maximal spanning forest (Boruvka)\n");
-    println!("| n | m | components | phases | rounds | max congestion | low-energy max | always-awake max |");
-    println!("|---:|---:|---:|---:|---:|---:|---:|---:|");
-    for r in &e9 {
-        println!(
-            "| {} | {} | {} | {} | {} | {} | {} | {} |",
-            r.n,
-            r.m,
-            r.components,
-            r.phases,
-            r.rounds,
-            r.max_congestion,
-            r.low_energy_max,
-            r.always_awake_max
-        );
-    }
-
+    print_section("E9: maximal spanning forest (Boruvka)", &e9);
     let e10 = e10_recursion(scale);
-    println!("\n## E10: recursion structure (Lemma 2.4 / Corollary 2.5)\n");
-    println!("| n | levels | subproblems | max participation | total subproblem size | total / (n * levels) |");
-    println!("|---:|---:|---:|---:|---:|---:|");
-    for r in &e10 {
-        println!(
-            "| {} | {} | {} | {} | {} | {:.2} |",
-            r.n,
-            r.levels,
-            r.subproblems,
-            r.max_participation,
-            r.total_subproblem_size,
-            r.normalized_total
-        );
-    }
-
+    print_section("E10: recursion structure (Lemma 2.4 / Corollary 2.5)", &e10);
     let e11 = e11_engine_throughput(scale);
-    print_e11(&e11);
-
+    print_section("E11: engine throughput (active-set vs reference core)", &e11);
     let e12 = e12_apsp_throughput(scale);
-    print_e12(&e12);
+    print_section("E12: APSP throughput (parallel streaming driver vs reference driver)", &e12);
 
     if json {
-        use congest_bench::json::{array, object};
+        use congest_bench::json::object;
         let dump = object(&[
+            ("registry", array(registry())),
             ("e1_e3", array(&e1)),
             ("e4", array(&e4)),
             ("e5", array(&e5)),

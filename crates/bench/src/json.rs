@@ -5,6 +5,10 @@
 //! of numbers and short labels, so a tiny emitter covers the `experiments
 //! -- full json` dump without it.
 
+use congest_sssp::{
+    Algorithm, AlgorithmInfo, RecursionReport, RunReport, ScheduleReport, SleepingReport,
+};
+
 use crate::{
     ApspRow, ApspThroughputRow, CoverRow, CutterRow, EnergyRow, ForestRow, RecursionRow, SsspRow,
     ThroughputRow,
@@ -65,6 +69,21 @@ impl ToJson for String {
     }
 }
 
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> String {
+        match self {
+            Some(v) => v.to_json(),
+            None => "null".to_string(),
+        }
+    }
+}
+
+impl ToJson for Algorithm {
+    fn to_json(&self) -> String {
+        self.name().to_json()
+    }
+}
+
 /// Renders a slice of rows as a JSON array.
 pub fn array<T: ToJson>(rows: &[T]) -> String {
     let items: Vec<String> = rows.iter().map(ToJson::to_json).collect();
@@ -89,27 +108,29 @@ macro_rules! impl_row_json {
 }
 
 impl_row_json! {
-    SsspRow { workload, algorithm, n, m, rounds, messages, max_congestion, max_energy, messages_lost }
-    CutterRow {
-        n, w, eps_inverse, rounds, max_congestion, error_bound, max_observed_error,
-        dropped_within_2w,
+    AlgorithmInfo {
+        name, label, summary, weighted, multi_source, sleeping_model, approximate, all_pairs,
+        thresholded,
     }
-    EnergyRow {
-        workload, algorithm, n, diameter, rounds, max_energy, mean_energy, slowdown,
-        megaround, cover_levels,
+    RunReport {
+        algorithm, n, m, rounds, messages, messages_lost, max_congestion, max_energy,
+        mean_energy, reached, error_bound, sleeping, recursion, schedule,
     }
-    ApspRow {
-        n, m, edge_budget, concurrent_makespan, sequential_rounds, speedup,
-        max_instance_congestion,
+    SleepingReport { slowdown, megaround, cover_levels }
+    RecursionReport { levels, subproblems, max_participation, total_subproblem_size }
+    ScheduleReport {
+        makespan, model_rounds, edge_budget, sequential_rounds, max_instance_congestion,
     }
+    SsspRow { workload, algorithm, report }
+    CutterRow { w, eps_inverse, max_observed_error, dropped_within_2w, report }
+    EnergyRow { workload, algorithm, diameter, report }
+    ApspRow { report }
     CoverRow {
         n, d, clusters, colors, max_membership, mean_membership, max_tree_depth, stretch,
         max_edge_tree_load,
     }
     ForestRow { n, m, components, phases, rounds, max_congestion, low_energy_max, always_awake_max }
-    RecursionRow {
-        n, levels, subproblems, max_participation, total_subproblem_size, normalized_total,
-    }
+    RecursionRow { normalized_total, report }
     ThroughputRow {
         workload, engine, n, m, rounds, messages, messages_lost, max_energy, wall_ms,
         node_rounds_per_sec, speedup_vs_reference, metrics_match,
@@ -150,5 +171,12 @@ mod tests {
     fn non_finite_floats_become_null() {
         assert_eq!(f64::NAN.to_json(), "null");
         assert_eq!(1.5f64.to_json(), "1.5");
+    }
+
+    #[test]
+    fn options_and_algorithms_render() {
+        assert_eq!(None::<u64>.to_json(), "null");
+        assert_eq!(Some(3u64).to_json(), "3");
+        assert_eq!(Algorithm::Cssp.to_json(), "\"recursive-cssp\"");
     }
 }

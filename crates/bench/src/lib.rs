@@ -11,16 +11,32 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod table;
 
 use congest_cover::sparse_cover::SparseCover;
 use congest_graph::{generators, properties, Graph, NodeId};
 use congest_sssp::apsp::{apsp, apsp_reference, planned_threads, ApspConfig};
-use congest_sssp::baseline::{distributed_bellman_ford, distributed_dijkstra};
-use congest_sssp::cssp::cssp;
-use congest_sssp::energy::{low_energy_bfs, low_energy_cssp};
 use congest_sssp::spanning_forest::spanning_forest;
-use congest_sssp::{approx, bfs, AlgoConfig, SourceOffset};
+use congest_sssp::{
+    registry, AlgoConfig, Algorithm, RecursionReport, RunReport, ScheduleReport, SleepingReport,
+    Solver,
+};
 use serde::{Deserialize, Serialize};
+
+/// Resolves a benchmark artifact file name against the `BENCH_OUT_DIR`
+/// environment variable: artifacts land in that directory (created if
+/// missing) when it is set and non-empty, and in the current working
+/// directory otherwise.
+pub fn bench_out_path(file_name: &str) -> std::path::PathBuf {
+    match std::env::var_os("BENCH_OUT_DIR") {
+        Some(dir) if !dir.is_empty() => {
+            let dir = std::path::PathBuf::from(dir);
+            std::fs::create_dir_all(&dir).expect("create BENCH_OUT_DIR");
+            dir.join(file_name)
+        }
+        _ => std::path::PathBuf::from(file_name),
+    }
+}
 
 /// Scale of an experiment run: `Quick` keeps every sweep small enough for CI
 /// and unit tests; `Full` uses the sizes recorded in `EXPERIMENTS.md`.
@@ -72,26 +88,15 @@ pub fn weighted_workload(n: u32, seed: u64) -> Graph {
 pub struct SsspRow {
     /// Workload label.
     pub workload: String,
-    /// Algorithm label.
+    /// Algorithm label (the registry's [`congest_sssp::AlgorithmInfo::label`]).
     pub algorithm: String,
-    /// Number of nodes.
-    pub n: u32,
-    /// Number of edges.
-    pub m: u32,
-    /// Rounds (time complexity).
-    pub rounds: u64,
-    /// Total messages.
-    pub messages: u64,
-    /// Maximum per-edge congestion.
-    pub max_congestion: u64,
-    /// Maximum per-node energy.
-    pub max_energy: u64,
-    /// Messages dropped on sleeping/halted recipients (sleeping-model loss).
-    pub messages_lost: u64,
+    /// The unified complexity report of the run.
+    pub report: RunReport,
 }
 
-/// Runs the recursive CSSP, distributed Bellman–Ford, and distributed
-/// Dijkstra on the same workloads (E1: rounds, E2: congestion, E3: messages).
+/// Runs every always-awake exact weighted single-source-set solver in the
+/// [`registry`] on the same workloads (E1: rounds, E2: congestion, E3:
+/// messages).
 pub fn e1_e3_sssp_comparison(scale: Scale) -> Vec<SsspRow> {
     let quick = [32u32, 64];
     let full = [32u32, 64, 128, 256, 512];
@@ -103,43 +108,22 @@ pub fn e1_e3_sssp_comparison(scale: Scale) -> Vec<SsspRow> {
             ("random-weighted".to_string(), weighted_workload(n, 7)),
             ("bf-adversarial".to_string(), bellman_ford_adversarial(n)),
         ] {
-            let source = NodeId(0);
-            let run = cssp(&g, &[source], &cfg).expect("cssp");
-            rows.push(SsspRow {
-                workload: workload.clone(),
-                algorithm: "recursive-cssp (paper)".into(),
-                n,
-                m: g.edge_count(),
-                rounds: run.metrics.rounds,
-                messages: run.metrics.messages,
-                max_congestion: run.metrics.max_congestion(),
-                max_energy: run.metrics.max_energy(),
-                messages_lost: run.metrics.messages_lost,
-            });
-            let bf = distributed_bellman_ford(&g, &[source], &cfg).expect("bellman-ford");
-            rows.push(SsspRow {
-                workload: workload.clone(),
-                algorithm: "bellman-ford".into(),
-                n,
-                m: g.edge_count(),
-                rounds: bf.metrics.rounds,
-                messages: bf.metrics.messages,
-                max_congestion: bf.metrics.max_congestion(),
-                max_energy: bf.metrics.max_energy(),
-                messages_lost: bf.metrics.messages_lost,
-            });
-            let dj = distributed_dijkstra(&g, &[source], &cfg).expect("dijkstra");
-            rows.push(SsspRow {
-                workload,
-                algorithm: "distributed-dijkstra".into(),
-                n,
-                m: g.edge_count(),
-                rounds: dj.metrics.rounds,
-                messages: dj.metrics.messages,
-                max_congestion: dj.metrics.max_congestion(),
-                max_energy: dj.metrics.max_energy(),
-                messages_lost: dj.metrics.messages_lost,
-            });
+            for info in registry()
+                .iter()
+                .filter(|i| i.weighted && i.exact() && !i.sleeping_model && !i.all_pairs)
+            {
+                let run = Solver::on(&g)
+                    .algorithm(info.algorithm)
+                    .source(NodeId(0))
+                    .config(cfg.clone())
+                    .run()
+                    .expect("solver run");
+                rows.push(SsspRow {
+                    workload: workload.clone(),
+                    algorithm: info.label.to_string(),
+                    report: run.report,
+                });
+            }
         }
     }
     rows
@@ -152,22 +136,24 @@ pub fn e1_e3_sssp_comparison(scale: Scale) -> Vec<SsspRow> {
 /// One measurement row of the cutter experiment (E4).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CutterRow {
-    /// Number of nodes.
-    pub n: u32,
     /// The threshold `W`.
     pub w: u64,
     /// `1/ε`.
     pub eps_inverse: u64,
-    /// Rounds of the waiting BFS.
-    pub rounds: u64,
-    /// Maximum per-edge congestion.
-    pub max_congestion: u64,
-    /// The guaranteed additive error bound.
-    pub error_bound: u64,
     /// The largest observed additive error against exact distances.
     pub max_observed_error: u64,
     /// Nodes within `2W` that were (incorrectly) dropped — must be 0.
     pub dropped_within_2w: u64,
+    /// The unified complexity report of the run (with
+    /// [`RunReport::error_bound`] set).
+    pub report: RunReport,
+}
+
+impl CutterRow {
+    /// The guaranteed additive error bound of the run.
+    pub fn error_bound(&self) -> u64 {
+        self.report.error_bound.expect("cutter rows always carry an error bound")
+    }
 }
 
 /// Measures the cutter's error, rounds, and congestion (Lemma 2.1 / E4).
@@ -186,26 +172,28 @@ pub fn e4_cutter(scale: Scale) -> Vec<CutterRow> {
         let truth = congest_graph::sequential::dijkstra(&g, &[NodeId(0)]);
         for &inv in epsilons {
             let cfg = AlgoConfig::default().with_epsilon_inverse(inv);
-            let out =
-                approx::approximate_cssp(&g, &[SourceOffset::plain(NodeId(0))], w, &cfg).unwrap();
+            let run = Solver::on(&g)
+                .algorithm(Algorithm::ApproximateCssp)
+                .source(NodeId(0))
+                .threshold(w)
+                .config(cfg)
+                .run()
+                .expect("cutter run");
             let mut max_err = 0u64;
             let mut dropped = 0u64;
             for v in g.nodes() {
-                match (out.estimates[v.index()].finite(), truth.distance(v).finite()) {
+                match (run.output.distance(v).finite(), truth.distance(v).finite()) {
                     (Some(est), Some(t)) => max_err = max_err.max(est.saturating_sub(t)),
                     (None, Some(t)) if t <= 2 * w => dropped += 1,
                     _ => {}
                 }
             }
             rows.push(CutterRow {
-                n,
                 w,
                 eps_inverse: inv,
-                rounds: out.metrics.rounds,
-                max_congestion: out.metrics.max_congestion(),
-                error_bound: out.error_bound,
                 max_observed_error: max_err,
                 dropped_within_2w: dropped,
+                report: run.report,
             });
         }
     }
@@ -221,28 +209,30 @@ pub fn e4_cutter(scale: Scale) -> Vec<CutterRow> {
 pub struct EnergyRow {
     /// Workload label.
     pub workload: String,
-    /// Algorithm label.
+    /// Algorithm label (the registry's [`congest_sssp::AlgorithmInfo::label`]).
     pub algorithm: String,
-    /// Number of nodes.
-    pub n: u32,
     /// Hop diameter of the workload.
     pub diameter: u64,
-    /// Rounds.
-    pub rounds: u64,
-    /// Maximum per-node energy (the paper's energy complexity).
-    pub max_energy: u64,
-    /// Mean per-node energy.
-    pub mean_energy: f64,
-    /// Slowdown / megaround / cover levels (0 for the baselines).
-    pub slowdown: u64,
-    /// Megaround width.
-    pub megaround: u64,
-    /// Layered-cover levels.
-    pub cover_levels: u64,
+    /// The unified complexity report of the run (with
+    /// [`RunReport::sleeping`] set for the sleeping-model algorithms).
+    pub report: RunReport,
 }
 
-/// Compares the low-energy BFS (Theorem 3.13/3.14) against the always-awake
-/// BFS baseline on growing-diameter workloads (E5).
+impl EnergyRow {
+    /// The sleeping-model instrumentation, all-zero for always-awake
+    /// baselines (which have no cover, slowdown, or megaround).
+    pub fn sleeping(&self) -> SleepingReport {
+        self.report.sleeping.unwrap_or(SleepingReport {
+            slowdown: 0,
+            megaround: 0,
+            cover_levels: 0,
+        })
+    }
+}
+
+/// Compares every BFS-family (unweighted) solver in the [`registry`] — the
+/// low-energy BFS of Theorem 3.13/3.14 against the always-awake baseline —
+/// on growing-diameter workloads (E5).
 pub fn e5_energy_bfs(scale: Scale) -> Vec<EnergyRow> {
     let quick = [64u32, 128];
     let full = [64u32, 128, 256, 512];
@@ -258,32 +248,23 @@ pub fn e5_energy_bfs(scale: Scale) -> Vec<EnergyRow> {
             }),
         ] {
             let diameter = properties::hop_diameter(&g);
-            let run = low_energy_bfs(&g, &[NodeId(0)], diameter, &cfg).expect("low-energy bfs");
-            rows.push(EnergyRow {
-                workload: workload.clone(),
-                algorithm: "low-energy-bfs (paper)".into(),
-                n: g.node_count(),
-                diameter,
-                rounds: run.metrics.rounds,
-                max_energy: run.metrics.max_energy(),
-                mean_energy: run.metrics.mean_energy(),
-                slowdown: run.slowdown,
-                megaround: run.megaround,
-                cover_levels: run.cover_levels as u64,
-            });
-            let naive = bfs::bfs(&g, &[NodeId(0)], &cfg).expect("naive bfs");
-            rows.push(EnergyRow {
-                workload,
-                algorithm: "always-awake-bfs".into(),
-                n: g.node_count(),
-                diameter,
-                rounds: naive.metrics.rounds,
-                max_energy: naive.metrics.max_energy(),
-                mean_energy: naive.metrics.mean_energy(),
-                slowdown: 0,
-                megaround: 0,
-                cover_levels: 0,
-            });
+            for info in registry().iter().filter(|i| !i.weighted) {
+                let mut req =
+                    Solver::on(&g).algorithm(info.algorithm).source(NodeId(0)).config(cfg.clone());
+                // The sleeping-model BFS builds its wake schedules for the
+                // wavefront horizon, so it is thresholded at the diameter;
+                // the always-awake baseline keeps the untruncated default.
+                if info.sleeping_model {
+                    req = req.threshold(diameter);
+                }
+                let run = req.run().expect("bfs run");
+                rows.push(EnergyRow {
+                    workload: workload.clone(),
+                    algorithm: info.label.to_string(),
+                    diameter,
+                    report: run.report,
+                });
+            }
         }
     }
     rows
@@ -300,32 +281,20 @@ pub fn e6_energy_cssp(scale: Scale) -> Vec<EnergyRow> {
     for &n in sizes {
         let g = weighted_workload(n, 23);
         let diameter = properties::hop_diameter(&g);
-        let run = low_energy_cssp(&g, &[NodeId(0)], &cfg).expect("low-energy cssp");
-        rows.push(EnergyRow {
-            workload: "random-weighted".into(),
-            algorithm: "low-energy-cssp (paper)".into(),
-            n,
-            diameter,
-            rounds: run.metrics.rounds,
-            max_energy: run.metrics.max_energy(),
-            mean_energy: run.metrics.mean_energy(),
-            slowdown: 0,
-            megaround: run.megaround,
-            cover_levels: run.cover_levels as u64,
-        });
-        let bf = distributed_bellman_ford(&g, &[NodeId(0)], &cfg).expect("bellman-ford");
-        rows.push(EnergyRow {
-            workload: "random-weighted".into(),
-            algorithm: "bellman-ford (always awake)".into(),
-            n,
-            diameter,
-            rounds: bf.metrics.rounds,
-            max_energy: bf.metrics.max_energy(),
-            mean_energy: bf.metrics.mean_energy(),
-            slowdown: 0,
-            megaround: 0,
-            cover_levels: 0,
-        });
+        for algorithm in [Algorithm::LowEnergyCssp, Algorithm::BellmanFord] {
+            let run = Solver::on(&g)
+                .algorithm(algorithm)
+                .source(NodeId(0))
+                .config(cfg.clone())
+                .run()
+                .expect("cssp run");
+            rows.push(EnergyRow {
+                workload: "random-weighted".into(),
+                algorithm: algorithm.label().to_string(),
+                diameter,
+                report: run.report,
+            });
+        }
     }
     rows
 }
@@ -337,20 +306,16 @@ pub fn e6_energy_cssp(scale: Scale) -> Vec<EnergyRow> {
 /// One measurement row of the APSP experiment (E7).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ApspRow {
-    /// Number of nodes.
-    pub n: u32,
-    /// Number of edges.
-    pub m: u32,
-    /// Per-round per-edge budget used by the scheduler.
-    pub edge_budget: u32,
-    /// Makespan of the concurrent random-delay schedule (the APSP time).
-    pub concurrent_makespan: u64,
-    /// Cost of running the `n` SSSP instances one after another.
-    pub sequential_rounds: u64,
-    /// `sequential / concurrent`.
-    pub speedup: f64,
-    /// Maximum per-edge congestion of any single SSSP instance.
-    pub max_instance_congestion: u64,
+    /// The unified complexity report of the run (with
+    /// [`RunReport::schedule`] set).
+    pub report: RunReport,
+}
+
+impl ApspRow {
+    /// The scheduling instrumentation of the run.
+    pub fn schedule(&self) -> ScheduleReport {
+        self.report.schedule.expect("APSP rows always carry a schedule")
+    }
 }
 
 /// Runs the APSP experiment (E7).
@@ -362,18 +327,13 @@ pub fn e7_apsp(scale: Scale) -> Vec<ApspRow> {
     let mut rows = Vec::new();
     for &n in sizes {
         let g = weighted_workload(n, 3);
-        let apsp_cfg = ApspConfig { seed: 1, ..ApspConfig::default() };
-        let run = apsp(&g, &cfg, &apsp_cfg).expect("apsp");
-        let budget = ((n.max(2) as f64).log2().ceil() as u32) + 1;
-        rows.push(ApspRow {
-            n,
-            m: g.edge_count(),
-            edge_budget: budget,
-            concurrent_makespan: run.schedule.makespan,
-            sequential_rounds: run.sequential_rounds,
-            speedup: run.sequential_rounds as f64 / run.schedule.makespan.max(1) as f64,
-            max_instance_congestion: run.max_instance_congestion,
-        });
+        let run = Solver::on(&g)
+            .algorithm(Algorithm::Apsp)
+            .config(cfg.clone())
+            .apsp_config(ApspConfig { seed: 1, ..ApspConfig::default() })
+            .run()
+            .expect("apsp");
+        rows.push(ApspRow { report: run.report });
     }
     rows
 }
@@ -492,18 +452,18 @@ pub fn e9_spanning_forest(scale: Scale) -> Vec<ForestRow> {
 /// One measurement row of the recursion-structure experiment (E10).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RecursionRow {
-    /// Number of nodes.
-    pub n: u32,
-    /// Recursion levels (`log₂ D`).
-    pub levels: u32,
-    /// Number of subproblems in the recursion tree.
-    pub subproblems: u64,
-    /// Maximum subproblems any node participated in (`O(log D)` claimed).
-    pub max_participation: u64,
-    /// Sum of subproblem sizes (`O(n log D)` claimed).
-    pub total_subproblem_size: u64,
     /// `total_subproblem_size / (n · levels)` — should stay `O(1)`.
     pub normalized_total: f64,
+    /// The unified complexity report of the run (with
+    /// [`RunReport::recursion`] set).
+    pub report: RunReport,
+}
+
+impl RecursionRow {
+    /// The recursion-tree instrumentation of the run.
+    pub fn recursion(&self) -> RecursionReport {
+        self.report.recursion.expect("recursion rows always carry recursion stats")
+    }
 }
 
 /// Measures the recursion structure of the thresholded CSSP (E10).
@@ -515,15 +475,17 @@ pub fn e10_recursion(scale: Scale) -> Vec<RecursionRow> {
     let mut rows = Vec::new();
     for &n in sizes {
         let g = weighted_workload(n, 13);
-        let run = cssp(&g, &[NodeId(0)], &cfg).expect("cssp");
+        let run = Solver::on(&g)
+            .algorithm(Algorithm::Cssp)
+            .source(NodeId(0))
+            .config(cfg.clone())
+            .run()
+            .expect("cssp");
+        let rec = run.report.recursion.expect("recursion stats present");
         rows.push(RecursionRow {
-            n,
-            levels: run.stats.levels,
-            subproblems: run.stats.subproblems,
-            max_participation: run.stats.max_participation(),
-            total_subproblem_size: run.stats.total_subproblem_size,
-            normalized_total: run.stats.total_subproblem_size as f64
-                / (n as f64 * run.stats.levels.max(1) as f64),
+            normalized_total: rec.total_subproblem_size as f64
+                / (n as f64 * rec.levels.max(1) as f64),
+            report: run.report,
         });
     }
     rows
@@ -798,7 +760,7 @@ mod tests {
         let rows = e1_e3_sssp_comparison(Scale::Quick);
         assert_eq!(rows.len(), 2 * 2 * 3);
         assert!(rows.iter().any(|r| r.algorithm.contains("paper")));
-        assert!(rows.iter().all(|r| r.rounds > 0 && r.messages > 0));
+        assert!(rows.iter().all(|r| r.report.rounds > 0 && r.report.messages > 0));
     }
 
     #[test]
@@ -810,8 +772,10 @@ mod tests {
         let rows = e1_e3_sssp_comparison(Scale::Quick);
         let pick = |algo: &str, n: u32| {
             rows.iter()
-                .find(|r| r.workload == "bf-adversarial" && r.algorithm.contains(algo) && r.n == n)
-                .map(|r| r.max_congestion as f64)
+                .find(|r| {
+                    r.workload == "bf-adversarial" && r.algorithm.contains(algo) && r.report.n == n
+                })
+                .map(|r| r.report.max_congestion as f64)
                 .expect("row present")
         };
         let paper_growth = pick("paper", 64) / pick("paper", 32);
@@ -827,8 +791,8 @@ mod tests {
     fn e4_cutter_never_drops_nodes_within_2w() {
         for row in e4_cutter(Scale::Quick) {
             assert_eq!(row.dropped_within_2w, 0);
-            assert!(row.max_observed_error <= row.error_bound);
-            assert!(row.max_congestion <= 2);
+            assert!(row.max_observed_error <= row.error_bound());
+            assert!(row.report.max_congestion <= 2);
         }
     }
 
@@ -843,7 +807,9 @@ mod tests {
     #[test]
     fn e7_concurrent_beats_sequential() {
         for row in e7_apsp(Scale::Quick) {
-            assert!(row.speedup > 1.0, "n = {}: speedup {}", row.n, row.speedup);
+            let sched = row.schedule();
+            assert!(sched.speedup() > 1.0, "n = {}: speedup {}", row.report.n, sched.speedup());
+            assert!(sched.edge_budget >= 1);
         }
     }
 
@@ -866,8 +832,22 @@ mod tests {
     #[test]
     fn e10_participation_is_logarithmic() {
         for row in e10_recursion(Scale::Quick) {
-            assert!(row.max_participation <= 4 * (row.levels as u64 + 2));
+            let rec = row.recursion();
+            assert!(rec.max_participation <= 4 * (rec.levels as u64 + 2));
         }
+    }
+
+    #[test]
+    fn bench_out_path_honors_the_env_var() {
+        // Serialized with the default single-use of the variable: nothing
+        // else in this crate's tests reads BENCH_OUT_DIR.
+        let dir = std::env::temp_dir().join("congest-bench-out-test");
+        std::env::set_var("BENCH_OUT_DIR", &dir);
+        let path = bench_out_path("X.json");
+        std::env::remove_var("BENCH_OUT_DIR");
+        assert_eq!(path, dir.join("X.json"));
+        assert!(dir.is_dir(), "the out dir is created");
+        assert_eq!(bench_out_path("X.json"), std::path::PathBuf::from("X.json"));
     }
 
     #[test]

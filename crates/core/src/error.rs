@@ -33,6 +33,17 @@ pub enum AlgoError {
     },
     /// The underlying simulation failed (round limit or CONGEST violation).
     Simulation(SimError),
+    /// A [`crate::solver::SolverRequest`] combined an algorithm with an
+    /// option the algorithm does not support (for example a distance
+    /// threshold on a baseline, or multiple sources on APSP). The capability
+    /// flags of [`crate::solver::registry`] describe what each algorithm
+    /// accepts.
+    UnsupportedRequest {
+        /// The registry name of the algorithm.
+        algorithm: &'static str,
+        /// The unsupported option.
+        reason: &'static str,
+    },
     /// The low-energy BFS wake schedule could not keep ahead of the BFS
     /// wavefront (the invariant of Lemma 3.7 was violated); indicates the
     /// configured slowdown constants are too aggressive for this instance.
@@ -60,6 +71,9 @@ impl fmt::Display for AlgoError {
                 write!(f, "edge {edge} has weight zero, which this subroutine does not accept")
             }
             AlgoError::Simulation(e) => write!(f, "simulation failed: {e}"),
+            AlgoError::UnsupportedRequest { algorithm, reason } => {
+                write!(f, "algorithm {algorithm} does not support {reason}")
+            }
             AlgoError::WakeScheduleViolation { level, reached_at, awake_at } => write!(
                 f,
                 "wake schedule violated at level {level}: BFS arrived at round {reached_at} before the cluster was awake at round {awake_at}"
@@ -101,6 +115,10 @@ mod tests {
         assert!(Error::source(&sim).is_some());
         let wake = AlgoError::WakeScheduleViolation { level: 1, reached_at: 10, awake_at: 20 };
         assert!(wake.to_string().contains("level 1"));
+        let unsupported =
+            AlgoError::UnsupportedRequest { algorithm: "bellman-ford", reason: "a threshold" };
+        assert!(unsupported.to_string().contains("bellman-ford"));
+        assert!(unsupported.to_string().contains("a threshold"));
     }
 
     #[test]

@@ -19,22 +19,43 @@
 //!   distributed Dijkstra, and the always-awake BFS, for the experiments in
 //!   `EXPERIMENTS.md`.
 //!
+//! All of the above are reachable uniformly through the [`solver`] facade:
+//! [`Solver::on`] builds a request, [`registry`] enumerates every algorithm
+//! with its capability flags, and every run returns the same
+//! [`SolverRun`]/[`RunReport`] pair. The per-algorithm free functions remain
+//! as stable thin entry points the facade delegates to.
+//!
 //! # Quick start
 //!
 //! ```
 //! use congest_graph::{generators, NodeId};
-//! use congest_sssp::cssp::sssp;
-//! use congest_sssp::AlgoConfig;
+//! use congest_sssp::{Algorithm, Solver};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let g = generators::with_random_weights(&generators::grid(6, 6, 1), 10, 42);
-//! let run = sssp(&g, NodeId(0), &AlgoConfig::default())?;
+//! let run = Solver::on(&g).algorithm(Algorithm::Cssp).source(NodeId(0)).run()?;
 //! println!(
 //!     "distance to the far corner: {}, rounds: {}, max congestion: {}",
 //!     run.distance(NodeId(35)),
-//!     run.metrics.rounds,
-//!     run.metrics.max_congestion()
+//!     run.report.rounds,
+//!     run.report.max_congestion
 //! );
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Iterating solvers generically via the registry:
+//!
+//! ```
+//! use congest_graph::{generators, NodeId};
+//! use congest_sssp::{registry, Solver};
+//!
+//! # fn main() -> Result<(), congest_sssp::AlgoError> {
+//! let g = generators::path(8, 1);
+//! for info in registry().iter().filter(|i| i.exact() && !i.all_pairs) {
+//!     let run = Solver::on(&g).algorithm(info.algorithm).source(NodeId(0)).run()?;
+//!     assert_eq!(run.distance(NodeId(7)).finite(), Some(7), "{}", info.name);
+//! }
 //! # Ok(())
 //! # }
 //! ```
@@ -51,10 +72,15 @@ pub mod cssp;
 pub mod energy;
 mod error;
 mod result;
+pub mod solver;
 pub mod spanning_forest;
 pub mod thresholded;
 pub mod weighted_bfs;
 
 pub use config::AlgoConfig;
 pub use error::AlgoError;
-pub use result::{AlgoRun, DistanceOutput, SourceOffset};
+pub use result::{
+    AlgoRun, DistanceOutput, RecursionReport, RunReport, ScheduleReport, SleepingReport,
+    SourceOffset,
+};
+pub use solver::{registry, Algorithm, AlgorithmInfo, Solver, SolverRequest, SolverRun};

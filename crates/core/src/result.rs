@@ -1,8 +1,12 @@
-//! Result types shared by all algorithms in this crate.
+//! Result types shared by all algorithms in this crate, including the
+//! unified [`RunReport`] every [`crate::solver::Solver`] run produces.
 
-use congest_graph::{Distance, NodeId};
+use congest_graph::{Distance, Graph, NodeId};
 use congest_sim::{EdgeUsageTrace, Metrics};
 use serde::{Deserialize, Serialize};
+
+use crate::solver::Algorithm;
+use crate::thresholded::RecursionStats;
 
 /// The distance output of a CSSP/SSSP/BFS computation: one distance per node
 /// (indexed by [`NodeId`]), `Infinite` for nodes that are unreachable or
@@ -51,6 +55,133 @@ impl AlgoRun {
     /// Convenience accessor: the distance of node `v`.
     pub fn distance(&self, v: NodeId) -> Distance {
         self.output.distance(v)
+    }
+}
+
+/// The unified complexity report of a [`crate::solver::Solver`] run: the
+/// aggregate measurements every algorithm produces, plus optional sections
+/// for the instrumentation only some algorithm families have (sleeping-model
+/// accounting, recursion structure, APSP scheduling). Consumers that iterate
+/// the [`crate::solver::registry`] can format any run from this one type
+/// instead of knowing each algorithm's specialized run struct.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Which algorithm produced this run.
+    pub algorithm: Algorithm,
+    /// Number of nodes of the input graph.
+    pub n: u32,
+    /// Number of edges of the input graph.
+    pub m: u32,
+    /// Rounds (time complexity; for APSP, the model rounds of the schedule).
+    pub rounds: u64,
+    /// Total messages.
+    pub messages: u64,
+    /// Messages dropped on sleeping/halted recipients.
+    pub messages_lost: u64,
+    /// Maximum per-edge congestion.
+    pub max_congestion: u64,
+    /// Maximum per-node energy (awake rounds). All-pairs compositions do
+    /// not track per-node energy across the superimposed instances and
+    /// report 0 here (unmeasured).
+    pub max_energy: u64,
+    /// Mean per-node energy (0 for all-pairs compositions, see
+    /// [`RunReport::max_energy`]).
+    pub mean_energy: f64,
+    /// Number of nodes with a finite output distance.
+    pub reached: u64,
+    /// Additive error bound of the estimates (approximate algorithms only).
+    pub error_bound: Option<u64>,
+    /// Sleeping-model instrumentation (low-energy algorithms only).
+    pub sleeping: Option<SleepingReport>,
+    /// Recursion-tree instrumentation (the recursive CSSP family only).
+    pub recursion: Option<RecursionReport>,
+    /// Random-delay scheduling instrumentation (APSP only).
+    pub schedule: Option<ScheduleReport>,
+}
+
+impl RunReport {
+    /// Builds the aggregate part of a report from an algorithm's measured
+    /// [`Metrics`] and distance output; the optional sections start empty.
+    pub fn new(
+        algorithm: Algorithm,
+        g: &Graph,
+        metrics: &Metrics,
+        output: &DistanceOutput,
+    ) -> RunReport {
+        RunReport {
+            algorithm,
+            n: g.node_count(),
+            m: g.edge_count(),
+            rounds: metrics.rounds,
+            messages: metrics.messages,
+            messages_lost: metrics.messages_lost,
+            max_congestion: metrics.max_congestion(),
+            max_energy: metrics.max_energy(),
+            mean_energy: metrics.mean_energy(),
+            reached: output.reached_count() as u64,
+            error_bound: None,
+            sleeping: None,
+            recursion: None,
+            schedule: None,
+        }
+    }
+}
+
+/// Sleeping-model instrumentation of a low-energy run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SleepingReport {
+    /// Rounds per wavefront hop (0 where the algorithm has no wavefront).
+    pub slowdown: u64,
+    /// Megaround width (maximum cluster trees sharing one edge).
+    pub megaround: u64,
+    /// Levels of the layered sparse cover.
+    pub cover_levels: u64,
+}
+
+/// Recursion-tree instrumentation of the recursive CSSP family
+/// (Lemma 2.4 / Corollary 2.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecursionReport {
+    /// Recursion levels (`log₂ D`).
+    pub levels: u32,
+    /// Subproblems solved (recursion-tree nodes).
+    pub subproblems: u64,
+    /// Maximum subproblems any single node participated in.
+    pub max_participation: u64,
+    /// Sum of subproblem sizes over the whole tree.
+    pub total_subproblem_size: u64,
+}
+
+impl From<&RecursionStats> for RecursionReport {
+    fn from(stats: &RecursionStats) -> RecursionReport {
+        RecursionReport {
+            levels: stats.levels,
+            subproblems: stats.subproblems,
+            max_participation: stats.max_participation(),
+            total_subproblem_size: stats.total_subproblem_size,
+        }
+    }
+}
+
+/// Random-delay scheduling instrumentation of an APSP run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduleReport {
+    /// Makespan of the concurrent schedule, in scheduler rounds.
+    pub makespan: u64,
+    /// Makespan in model rounds (`makespan × edge budget`).
+    pub model_rounds: u64,
+    /// Per-round per-edge message budget of the schedule.
+    pub edge_budget: u64,
+    /// Cost of running the instances one after another, in simulated rounds.
+    pub sequential_rounds: u64,
+    /// Maximum per-edge congestion of any single SSSP instance.
+    pub max_instance_congestion: u64,
+}
+
+impl ScheduleReport {
+    /// Rounds saved by concurrent scheduling: `sequential / makespan`.
+    pub fn speedup(&self) -> f64 {
+        self.sequential_rounds as f64 / self.makespan.max(1) as f64
     }
 }
 

@@ -1,0 +1,471 @@
+//! The unified solver facade: one request/run API over every SSSP/BFS/APSP
+//! algorithm in this crate.
+//!
+//! The paper's pipeline is one family of interchangeable distance solvers —
+//! the exact recursion, its thresholded/approximate layers, the sleeping-model
+//! variants, the baselines, and the APSP composition. This module exposes them
+//! uniformly:
+//!
+//! * [`Algorithm`] enumerates the solvers; [`registry`] describes each one's
+//!   capabilities (weighted? multi-source? sleeping-model? approximate?
+//!   all-pairs? thresholded?), so callers can iterate solvers generically.
+//! * [`Solver::on`] starts a [`SolverRequest`] builder;
+//!   [`SolverRequest::run`] executes it and returns one [`SolverRun`] with
+//!   the distances, a unified [`RunReport`] (including energy/awake-round and
+//!   recursion/scheduling sections where applicable), and an optional trace.
+//!
+//! The per-algorithm free functions ([`crate::cssp::cssp`],
+//! [`crate::energy::low_energy_bfs`], …) remain available as the stable
+//! under-the-hood entry points the facade delegates to; new consumers should
+//! prefer the facade.
+//!
+//! ```
+//! use congest_graph::{generators, NodeId};
+//! use congest_sssp::{registry, Algorithm, Solver};
+//!
+//! # fn main() -> Result<(), congest_sssp::AlgoError> {
+//! let g = generators::with_random_weights(&generators::grid(4, 4, 1), 8, 7);
+//! // One specific solver…
+//! let run = Solver::on(&g).algorithm(Algorithm::Cssp).source(NodeId(0)).run()?;
+//! assert!(run.report.max_congestion > 0);
+//! // …or every exact weighted solver, generically.
+//! for info in registry().iter().filter(|i| i.weighted && i.exact() && !i.all_pairs) {
+//!     let r = Solver::on(&g).algorithm(info.algorithm).source(NodeId(0)).run()?;
+//!     assert_eq!(r.output.distances, run.output.distances, "{}", info.name);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+mod registry;
+
+pub use registry::{registry, Algorithm, AlgorithmInfo};
+
+use congest_graph::{Distance, Graph, NodeId};
+use congest_sim::EdgeUsageTrace;
+
+use crate::approx::approximate_cssp;
+use crate::apsp::{apsp, ApspConfig};
+use crate::baseline::{distributed_bellman_ford, distributed_dijkstra};
+use crate::bfs::thresholded_bfs;
+use crate::cssp::cssp;
+use crate::energy::{low_energy_bfs, low_energy_cssp};
+use crate::result::{
+    DistanceOutput, RecursionReport, RunReport, ScheduleReport, SleepingReport, SourceOffset,
+};
+use crate::thresholded::thresholded_cssp;
+use crate::{AlgoConfig, AlgoError};
+
+/// Entry point of the facade: [`Solver::on`] starts a request on a graph.
+#[derive(Debug, Clone, Copy)]
+pub struct Solver;
+
+impl Solver {
+    /// Starts a [`SolverRequest`] on `g` (algorithm [`Algorithm::Cssp`], no
+    /// sources, default [`AlgoConfig`]).
+    pub fn on(g: &Graph) -> SolverRequest<'_> {
+        SolverRequest {
+            graph: g,
+            algorithm: Algorithm::Cssp,
+            sources: Vec::new(),
+            threshold: None,
+            config: AlgoConfig::default(),
+            apsp_config: ApspConfig::default(),
+        }
+    }
+}
+
+/// A buildable request against one graph: pick an [`Algorithm`], sources, an
+/// optional threshold, and configuration, then [`SolverRequest::run`] it.
+#[derive(Debug, Clone)]
+pub struct SolverRequest<'g> {
+    graph: &'g Graph,
+    algorithm: Algorithm,
+    sources: Vec<SourceOffset>,
+    threshold: Option<u64>,
+    config: AlgoConfig,
+    apsp_config: ApspConfig,
+}
+
+impl SolverRequest<'_> {
+    /// Selects the algorithm to run.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Adds one plain source node.
+    pub fn source(mut self, source: NodeId) -> Self {
+        self.sources.push(SourceOffset::plain(source));
+        self
+    }
+
+    /// Replaces the source set with `sources` (all plain, offset 0).
+    pub fn sources(mut self, sources: &[NodeId]) -> Self {
+        self.sources = sources.iter().map(|&s| SourceOffset::plain(s)).collect();
+        self
+    }
+
+    /// Replaces the source set with offset sources (the recursion's
+    /// "imaginary node" device; only the thresholded CSSP family accepts
+    /// non-zero offsets).
+    pub fn source_offsets(mut self, sources: &[SourceOffset]) -> Self {
+        self.sources = sources.to_vec();
+        self
+    }
+
+    /// Sets the distance threshold (weighted solvers) or hop limit (BFS
+    /// solvers). Only algorithms with [`AlgorithmInfo::thresholded`] accept
+    /// one; the default is a bound that never truncates (hop limit `n`,
+    /// distance limit [`Graph::distance_upper_bound`]).
+    pub fn threshold(mut self, threshold: u64) -> Self {
+        self.threshold = Some(threshold);
+        self
+    }
+
+    /// Sets the algorithm configuration.
+    pub fn config(mut self, config: AlgoConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the APSP scheduling configuration ([`Algorithm::Apsp`] only;
+    /// ignored by every other algorithm).
+    pub fn apsp_config(mut self, apsp_config: ApspConfig) -> Self {
+        self.apsp_config = apsp_config;
+        self
+    }
+
+    /// Validates the request against the algorithm's capability flags and
+    /// runs it.
+    ///
+    /// # Errors
+    ///
+    /// [`AlgoError::UnsupportedRequest`] if an option the algorithm does not
+    /// support was set (see [`registry`]); otherwise whatever the underlying
+    /// algorithm reports (empty/out-of-range sources, zero weights where
+    /// unsupported, simulation failures).
+    pub fn run(self) -> Result<SolverRun, AlgoError> {
+        let info = self.algorithm.info();
+        if !info.all_pairs && self.sources.is_empty() {
+            return Err(AlgoError::EmptySourceSet);
+        }
+        if self.sources.len() > 1 && !info.multi_source {
+            return Err(AlgoError::UnsupportedRequest {
+                algorithm: info.name,
+                reason: "more than one source",
+            });
+        }
+        if self.threshold.is_some() && !info.thresholded {
+            return Err(AlgoError::UnsupportedRequest {
+                algorithm: info.name,
+                reason: "a distance threshold",
+            });
+        }
+        let has_offsets = self.sources.iter().any(|s| s.offset > 0);
+        if has_offsets && !matches!(self.algorithm, Algorithm::Cssp | Algorithm::ApproximateCssp) {
+            return Err(AlgoError::UnsupportedRequest {
+                algorithm: info.name,
+                reason: "offset sources",
+            });
+        }
+
+        let g = self.graph;
+        let nodes: Vec<NodeId> = self.sources.iter().map(|s| s.node).collect();
+        let full_distance = g.distance_upper_bound().max(1);
+        match self.algorithm {
+            Algorithm::Cssp => {
+                if self.threshold.is_none() && !has_offsets {
+                    let run = cssp(g, &nodes, &self.config)?;
+                    let mut report = RunReport::new(self.algorithm, g, &run.metrics, &run.output);
+                    report.recursion = Some(RecursionReport::from(&run.stats));
+                    Ok(SolverRun { output: run.output, all_pairs: None, report, trace: None })
+                } else {
+                    let d = self.threshold.unwrap_or(full_distance);
+                    let run = thresholded_cssp(g, &self.sources, d, &self.config)?;
+                    let mut report = RunReport::new(self.algorithm, g, &run.metrics, &run.output);
+                    report.recursion = Some(RecursionReport::from(&run.stats));
+                    Ok(SolverRun { output: run.output, all_pairs: None, report, trace: None })
+                }
+            }
+            Algorithm::ApproximateCssp => {
+                let w = self.threshold.unwrap_or(full_distance);
+                if w == 0 {
+                    return Err(AlgoError::UnsupportedRequest {
+                        algorithm: info.name,
+                        reason: "a zero threshold",
+                    });
+                }
+                let out = approximate_cssp(g, &self.sources, w, &self.config)?;
+                let output = DistanceOutput { distances: out.estimates };
+                let mut report = RunReport::new(self.algorithm, g, &out.metrics, &output);
+                report.error_bound = Some(out.error_bound);
+                Ok(SolverRun { output, all_pairs: None, report, trace: out.trace })
+            }
+            Algorithm::Bfs => {
+                let limit = self.threshold.unwrap_or(g.node_count() as u64);
+                let run = thresholded_bfs(g, &nodes, limit, &self.config)?;
+                let report = RunReport::new(self.algorithm, g, &run.metrics, &run.output);
+                Ok(SolverRun { output: run.output, all_pairs: None, report, trace: run.trace })
+            }
+            Algorithm::LowEnergyBfs => {
+                let limit = self.threshold.unwrap_or(g.node_count() as u64);
+                let run = low_energy_bfs(g, &nodes, limit, &self.config)?;
+                let mut report = RunReport::new(self.algorithm, g, &run.metrics, &run.output);
+                report.sleeping = Some(SleepingReport {
+                    slowdown: run.slowdown,
+                    megaround: run.megaround,
+                    cover_levels: run.cover_levels as u64,
+                });
+                Ok(SolverRun { output: run.output, all_pairs: None, report, trace: None })
+            }
+            Algorithm::LowEnergyCssp => {
+                let run = low_energy_cssp(g, &nodes, &self.config)?;
+                let mut report = RunReport::new(self.algorithm, g, &run.metrics, &run.output);
+                report.sleeping = Some(SleepingReport {
+                    slowdown: 0,
+                    megaround: run.megaround,
+                    cover_levels: run.cover_levels as u64,
+                });
+                report.recursion = Some(RecursionReport::from(&run.stats));
+                Ok(SolverRun { output: run.output, all_pairs: None, report, trace: None })
+            }
+            Algorithm::Dijkstra => {
+                let run = distributed_dijkstra(g, &nodes, &self.config)?;
+                let report = RunReport::new(self.algorithm, g, &run.metrics, &run.output);
+                Ok(SolverRun { output: run.output, all_pairs: None, report, trace: run.trace })
+            }
+            Algorithm::BellmanFord => {
+                let run = distributed_bellman_ford(g, &nodes, &self.config)?;
+                let report = RunReport::new(self.algorithm, g, &run.metrics, &run.output);
+                Ok(SolverRun { output: run.output, all_pairs: None, report, trace: run.trace })
+            }
+            Algorithm::Apsp => {
+                let row = nodes.first().copied().unwrap_or(NodeId(0));
+                if !g.contains_node(row) {
+                    return Err(AlgoError::SourceOutOfRange { node: row });
+                }
+                let run = apsp(g, &self.config, &self.apsp_config)?;
+                let output = DistanceOutput { distances: run.distances[row.index()].clone() };
+                let schedule = ScheduleReport {
+                    makespan: run.schedule.makespan,
+                    model_rounds: run.schedule.model_rounds,
+                    // The schedule's realized per-round capacity; a schedule
+                    // with no messages still ran under a budget >= 1.
+                    edge_budget: (run.schedule.model_rounds / run.schedule.makespan.max(1)).max(1),
+                    sequential_rounds: run.sequential_rounds,
+                    max_instance_congestion: run.max_instance_congestion,
+                };
+                // The composition measures schedule-level quantities only:
+                // per-node energy and sleeping-model loss are not tracked
+                // across the superimposed instances, so those fields are 0
+                // (unmeasured, not "measured zero") — see `RunReport` docs.
+                let report = RunReport {
+                    algorithm: self.algorithm,
+                    n: g.node_count(),
+                    m: g.edge_count(),
+                    rounds: run.schedule.model_rounds,
+                    messages: run.total_messages,
+                    messages_lost: 0,
+                    max_congestion: run.schedule.congestion,
+                    max_energy: 0,
+                    mean_energy: 0.0,
+                    reached: output.reached_count() as u64,
+                    error_bound: None,
+                    sleeping: None,
+                    recursion: None,
+                    schedule: Some(schedule),
+                };
+                Ok(SolverRun { output, all_pairs: Some(run.distances), report, trace: None })
+            }
+        }
+    }
+}
+
+/// One completed solver run, uniform over every [`Algorithm`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverRun {
+    /// Distances from the requested source set (for [`Algorithm::Apsp`], the
+    /// row of the first requested source, default node 0).
+    pub output: DistanceOutput,
+    /// The full distance matrix (all-pairs algorithms only).
+    pub all_pairs: Option<Vec<Vec<Distance>>>,
+    /// The unified complexity report.
+    pub report: RunReport,
+    /// Per-round edge usage trace, where the algorithm records one and
+    /// [`AlgoConfig::record_traces`] was enabled.
+    pub trace: Option<EdgeUsageTrace>,
+}
+
+impl SolverRun {
+    /// The distance of node `v`.
+    pub fn distance(&self, v: NodeId) -> Distance {
+        self.output.distance(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::{generators, sequential};
+
+    fn weighted(n: u32, seed: u64) -> Graph {
+        generators::with_random_weights(
+            &generators::random_connected(n, 2 * n as u64, seed),
+            9,
+            seed,
+        )
+    }
+
+    #[test]
+    fn facade_matches_the_free_functions() {
+        let g = weighted(24, 3);
+        let cfg = AlgoConfig::default();
+        let via_facade = Solver::on(&g)
+            .algorithm(Algorithm::Cssp)
+            .source(NodeId(0))
+            .config(cfg.clone())
+            .run()
+            .unwrap();
+        let direct = cssp(&g, &[NodeId(0)], &cfg).unwrap();
+        assert_eq!(via_facade.output, direct.output);
+        assert_eq!(via_facade.report.rounds, direct.metrics.rounds);
+        assert_eq!(via_facade.report.messages, direct.metrics.messages);
+        assert_eq!(via_facade.report.max_congestion, direct.metrics.max_congestion());
+        let rec = via_facade.report.recursion.expect("recursion section present");
+        assert_eq!(rec.subproblems, direct.stats.subproblems);
+        assert_eq!(rec.max_participation, direct.stats.max_participation());
+    }
+
+    #[test]
+    fn every_exact_weighted_solver_agrees_with_dijkstra() {
+        let g = weighted(18, 11);
+        let truth = sequential::dijkstra(&g, &[NodeId(2)]);
+        for info in registry().iter().filter(|i| i.weighted && i.exact()) {
+            let run = Solver::on(&g).algorithm(info.algorithm).source(NodeId(2)).run().unwrap();
+            assert_eq!(run.output.distances, truth.distances, "{}", info.name);
+            assert_eq!(run.report.algorithm, info.algorithm);
+            assert_eq!(run.report.n, g.node_count());
+            assert_eq!(run.report.reached, g.node_count() as u64);
+        }
+    }
+
+    #[test]
+    fn bfs_solvers_compute_hop_distances() {
+        let g = weighted(20, 5);
+        let truth = sequential::bfs(&g, &[NodeId(1)]);
+        for info in registry().iter().filter(|i| !i.weighted) {
+            let run = Solver::on(&g).algorithm(info.algorithm).source(NodeId(1)).run().unwrap();
+            assert_eq!(run.output.distances, truth.distances, "{}", info.name);
+            assert_eq!(run.report.sleeping.is_some(), info.sleeping_model, "{}", info.name);
+        }
+    }
+
+    #[test]
+    fn threshold_dispatches_to_the_thresholded_recursion() {
+        let g = generators::path(16, 4); // distances 0, 4, 8, ..., 60
+        let run = Solver::on(&g)
+            .algorithm(Algorithm::Cssp)
+            .source(NodeId(0))
+            .threshold(20)
+            .run()
+            .unwrap();
+        // Threshold rounds up to a power of two internally (32 here), exactly
+        // like calling thresholded_cssp directly.
+        let direct =
+            thresholded_cssp(&g, &[SourceOffset::plain(NodeId(0))], 20, &AlgoConfig::default())
+                .unwrap();
+        assert_eq!(run.output, direct.output);
+        assert!(run.report.reached < g.node_count() as u64, "threshold truncates");
+    }
+
+    #[test]
+    fn offset_sources_reach_the_recursion() {
+        let g = generators::path(10, 2);
+        let sources = [SourceOffset { node: NodeId(0), offset: 3 }];
+        let run = Solver::on(&g).algorithm(Algorithm::Cssp).source_offsets(&sources).run().unwrap();
+        let direct =
+            thresholded_cssp(&g, &sources, g.distance_upper_bound().max(1), &AlgoConfig::default())
+                .unwrap();
+        assert_eq!(run.output, direct.output);
+        assert_eq!(run.distance(NodeId(0)).finite(), Some(3));
+    }
+
+    #[test]
+    fn approximate_solver_reports_its_error_bound() {
+        let g = weighted(20, 7);
+        let w = g.distance_upper_bound() / 4 + 1;
+        let run = Solver::on(&g)
+            .algorithm(Algorithm::ApproximateCssp)
+            .source(NodeId(0))
+            .threshold(w)
+            .run()
+            .unwrap();
+        let bound = run.report.error_bound.expect("error bound present");
+        let truth = sequential::dijkstra(&g, &[NodeId(0)]);
+        for v in g.nodes() {
+            if let (Some(est), Some(t)) = (run.distance(v).finite(), truth.distance(v).finite()) {
+                assert!(t <= est && est <= t + bound, "node {v}: {est} vs {t} (+{bound})");
+            }
+        }
+    }
+
+    #[test]
+    fn apsp_returns_the_full_matrix_and_schedule_section() {
+        let g = weighted(12, 9);
+        let run = Solver::on(&g)
+            .algorithm(Algorithm::Apsp)
+            .source(NodeId(3))
+            .apsp_config(ApspConfig { seed: 4, ..ApspConfig::default() })
+            .run()
+            .unwrap();
+        let truth = sequential::all_pairs(&g);
+        let matrix = run.all_pairs.as_ref().expect("all-pairs matrix present");
+        assert_eq!(matrix, &truth);
+        assert_eq!(run.output.distances, truth[3]);
+        let sched = run.report.schedule.expect("schedule section present");
+        assert!(sched.makespan > 0 && sched.edge_budget > 0);
+        assert!(sched.speedup() > 1.0);
+        assert_eq!(run.report.rounds, sched.model_rounds);
+    }
+
+    #[test]
+    fn unsupported_requests_are_rejected_with_the_algorithm_name() {
+        let g = generators::path(6, 1);
+        let cases = [
+            Solver::on(&g).algorithm(Algorithm::BellmanFord).source(NodeId(0)).threshold(4).run(),
+            Solver::on(&g).algorithm(Algorithm::Apsp).sources(&[NodeId(0), NodeId(1)]).run(),
+            Solver::on(&g)
+                .algorithm(Algorithm::Dijkstra)
+                .source_offsets(&[SourceOffset { node: NodeId(0), offset: 2 }])
+                .run(),
+            Solver::on(&g)
+                .algorithm(Algorithm::ApproximateCssp)
+                .source(NodeId(0))
+                .threshold(0)
+                .run(),
+        ];
+        for case in cases {
+            assert!(matches!(case, Err(AlgoError::UnsupportedRequest { .. })), "{case:?}");
+        }
+        assert!(matches!(
+            Solver::on(&g).algorithm(Algorithm::Cssp).run(),
+            Err(AlgoError::EmptySourceSet)
+        ));
+        assert!(matches!(
+            Solver::on(&g).algorithm(Algorithm::Apsp).source(NodeId(9)).run(),
+            Err(AlgoError::SourceOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn every_algorithm_is_reachable_via_the_facade() {
+        let g = weighted(10, 1);
+        for info in registry() {
+            let run = Solver::on(&g).algorithm(info.algorithm).source(NodeId(0)).run().unwrap();
+            assert_eq!(run.report.algorithm, info.algorithm, "{}", info.name);
+            assert!(run.report.rounds > 0, "{}", info.name);
+            assert_eq!(run.all_pairs.is_some(), info.all_pairs, "{}", info.name);
+        }
+    }
+}

@@ -12,20 +12,24 @@
 //! ```
 
 use congest_sssp_suite::graph::{generators, sequential};
-use congest_sssp_suite::sssp::apsp::{apsp, ApspConfig};
-use congest_sssp_suite::sssp::AlgoConfig;
+use congest_sssp_suite::sssp::apsp::ApspConfig;
+use congest_sssp_suite::sssp::{Algorithm, Solver};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let base = generators::random_connected(32, 64, 9);
     let g = generators::with_random_weights(&base, 16, 9);
     println!("network: {} nodes, {} links", g.node_count(), g.edge_count());
 
-    let run = apsp(&g, &AlgoConfig::default(), &ApspConfig { seed: 4, ..ApspConfig::default() })?;
+    let run = Solver::on(&g)
+        .algorithm(Algorithm::Apsp)
+        .apsp_config(ApspConfig { seed: 4, ..ApspConfig::default() })
+        .run()?;
 
-    // Routing tables are correct: cross-check a few entries against Dijkstra.
+    // Routing tables are correct: cross-check every entry against Dijkstra.
     let truth = sequential::all_pairs(&g);
+    let tables = run.all_pairs.as_ref().expect("APSP returns the full matrix");
     for s in g.nodes() {
-        assert_eq!(run.distances[s.index()], truth[s.index()]);
+        assert_eq!(tables[s.index()], truth[s.index()]);
     }
     println!(
         "all {}x{} routing-table entries verified against Dijkstra",
@@ -33,24 +37,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         g.node_count()
     );
 
-    println!("\nper-instance SSSP congestion (max over edges): {}", run.max_instance_congestion);
+    let sched = run.report.schedule.expect("APSP reports its schedule");
+    println!("\nper-instance SSSP congestion (max over edges): {}", sched.max_instance_congestion);
     println!(
         "sequential composition of {} instances: {} rounds",
         g.node_count(),
-        run.sequential_rounds
+        sched.sequential_rounds
     );
     println!(
         "random-delay concurrent schedule:          {} rounds ({} messages/edge/round budget)",
-        run.schedule.makespan,
-        run.schedule.model_rounds / run.schedule.makespan.max(1)
+        sched.makespan, sched.edge_budget
     );
-    println!(
-        "speedup from scheduling: {:.1}x",
-        run.sequential_rounds as f64 / run.schedule.makespan.max(1) as f64
-    );
+    println!("speedup from scheduling: {:.1}x", sched.speedup());
     println!(
         "randomness used: only the {} start delays (the SSSPs themselves are deterministic)",
-        run.schedule.delays.len()
+        g.node_count()
     );
     Ok(())
 }

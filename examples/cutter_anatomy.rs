@@ -10,26 +10,28 @@
 //! ```
 
 use congest_sssp_suite::graph::{generators, sequential, Distance, NodeId};
-use congest_sssp_suite::sssp::approx::approximate_cssp;
-use congest_sssp_suite::sssp::{AlgoConfig, SourceOffset};
+use congest_sssp_suite::sssp::{Algorithm, Solver};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A weighted path makes the geometry of the cut easy to see.
     let g = generators::path(16, 4); // distances 0, 4, 8, ..., 60
     let source = NodeId(0);
-    let cfg = AlgoConfig::default();
 
     let d = 32u64; // the current threshold of the recursion
     let d1 = d / 2;
 
     println!("threshold D = {d}, cutting at D/2 = {d1}\n");
-    let cut = approximate_cssp(&g, &[SourceOffset::plain(source)], d, &cfg)?;
+    let cut =
+        Solver::on(&g).algorithm(Algorithm::ApproximateCssp).source(source).threshold(d).run()?;
+    let error_bound = cut.report.error_bound.expect("the cutter reports its error bound");
     let truth = sequential::dijkstra(&g, &[source]);
 
     println!("{:>6} {:>8} {:>10} {:>6} {:>6}", "node", "dist", "estimate", "in V1", "in V2");
-    let include = cut.inclusion_threshold(d);
+    // A node is included in V₁ when its estimate is at most D + error bound
+    // (every node with true distance ≤ D qualifies).
+    let include = Distance::Finite(d + error_bound);
     for v in g.nodes() {
-        let est = cut.estimates[v.index()];
+        let est = cut.distance(v);
         let in_v1 = est <= include;
         let in_v2 = truth.distance(v) <= Distance::Finite(d1);
         println!(
@@ -41,11 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             in_v2
         );
     }
-    println!("\ncutter guarantees (Lemma 2.1): estimates overshoot by at most {}", cut.error_bound);
+    println!("\ncutter guarantees (Lemma 2.1): estimates overshoot by at most {error_bound}");
     println!(
         "cutter cost: {} rounds, max {} messages per edge",
-        cut.metrics.rounds,
-        cut.metrics.max_congestion()
+        cut.report.rounds, cut.report.max_congestion
     );
 
     // The cut sources of the second half: nodes just outside V2 adjacent to V2,

@@ -1,6 +1,7 @@
 //! Quickstart: build a small weighted network, run the paper's low-congestion
-//! SSSP on it, and print the distances together with the complexity metrics
-//! the paper bounds (rounds, messages, per-edge congestion).
+//! SSSP on it through the unified `Solver` facade, and print the distances
+//! together with the complexity metrics the paper bounds (rounds, messages,
+//! per-edge congestion).
 //!
 //! Run with:
 //!
@@ -9,8 +10,7 @@
 //! ```
 
 use congest_sssp_suite::graph::{generators, sequential, NodeId};
-use congest_sssp_suite::sssp::cssp::sssp;
-use congest_sssp_suite::sssp::AlgoConfig;
+use congest_sssp_suite::sssp::{Algorithm, Solver};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 6x6 grid with random integer weights in [1, 10].
@@ -18,7 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let g = generators::with_random_weights(&grid, 10, 42);
     let source = NodeId(0);
 
-    let run = sssp(&g, source, &AlgoConfig::default())?;
+    let run = Solver::on(&g).algorithm(Algorithm::Cssp).source(source).run()?;
 
     // Cross-check against sequential Dijkstra (always passes; shown here so
     // the example doubles as a correctness demo).
@@ -32,10 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!();
     println!("complexity of the distributed execution:");
-    println!("  rounds (time):        {}", run.metrics.rounds);
-    println!("  messages:             {}", run.metrics.messages);
-    println!("  max per-edge traffic:  {}", run.metrics.max_congestion());
-    println!("  recursion subproblems: {}", run.stats.subproblems);
-    println!("  max node participation: {}", run.stats.max_participation());
+    println!("  rounds (time):        {}", run.report.rounds);
+    println!("  messages:             {}", run.report.messages);
+    println!("  max per-edge traffic:  {}", run.report.max_congestion);
+    let rec = run.report.recursion.expect("the recursion reports its structure");
+    println!("  recursion subproblems: {}", rec.subproblems);
+    println!("  max node participation: {}", rec.max_participation);
     Ok(())
 }

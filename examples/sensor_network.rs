@@ -2,7 +2,9 @@
 //! large, high-diameter network of battery-powered nodes needs a BFS tree
 //! from a gateway. Compare the always-awake BFS (every node awake for the
 //! whole run, energy Θ(D)) with the paper's low-energy BFS (every node awake
-//! only poly(log n) rounds, coordinated through deterministic sparse covers).
+//! only poly(log n) rounds, coordinated through deterministic sparse covers)
+//! — both reached uniformly through the `Solver` facade by iterating the
+//! registry's BFS-family solvers.
 //!
 //! Run with:
 //!
@@ -11,14 +13,13 @@
 //! ```
 
 use congest_sssp_suite::graph::{generators, properties, NodeId};
-use congest_sssp_suite::sssp::{bfs, energy, AlgoConfig};
+use congest_sssp_suite::sssp::{registry, Solver, SolverRun};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 20x10 grid of sensors: high hop diameter, low degree.
     let g = generators::grid(20, 10, 1);
     let gateway = NodeId(0);
     let diameter = properties::hop_diameter(&g);
-    let cfg = AlgoConfig::default();
 
     println!(
         "sensor grid: {} nodes, {} links, hop diameter {}",
@@ -27,22 +28,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         diameter
     );
 
-    let naive = bfs::bfs(&g, &[gateway], &cfg)?;
-    println!("\nalways-awake BFS baseline:");
-    println!("  rounds:          {}", naive.metrics.rounds);
-    println!("  max node energy: {} awake rounds", naive.metrics.max_energy());
-    println!("  mean node energy: {:.1} awake rounds", naive.metrics.mean_energy());
+    // Every unweighted (BFS-family) solver in the registry: the always-awake
+    // baseline and the paper's sleeping-model BFS.
+    let mut runs: Vec<(bool, SolverRun)> = Vec::new();
+    for info in registry().iter().filter(|i| !i.weighted) {
+        let mut req = Solver::on(&g).algorithm(info.algorithm).source(gateway);
+        if info.sleeping_model {
+            // The low-energy BFS builds wake schedules for the wavefront
+            // horizon, so it is thresholded at the diameter.
+            req = req.threshold(diameter);
+        }
+        let run = req.run()?;
+        println!("\n{}:", info.label);
+        println!("  rounds:          {}", run.report.rounds);
+        println!("  max node energy: {} awake rounds", run.report.max_energy);
+        println!("  mean node energy: {:.1} awake rounds", run.report.mean_energy);
+        if let Some(s) = run.report.sleeping {
+            println!(
+                "  slowdown {}, megaround {}, layered-cover levels {}",
+                s.slowdown, s.megaround, s.cover_levels
+            );
+        }
+        runs.push((info.sleeping_model, run));
+    }
 
-    let low = energy::low_energy_bfs(&g, &[gateway], diameter, &cfg)?;
+    // Pick the comparison pair by capability flag, so additional BFS-family
+    // registry entries extend the printout without breaking the example.
+    let naive = &runs.iter().find(|(sleeping, _)| !sleeping).expect("an always-awake BFS").1;
+    let low = &runs.iter().find(|(sleeping, _)| *sleeping).expect("a sleeping-model BFS").1;
     assert_eq!(low.output.distances, naive.output.distances, "both compute the same BFS");
-    println!("\nlow-energy BFS (paper, Theorem 3.13):");
-    println!(
-        "  rounds:          {} (slowdown {}, megaround {})",
-        low.metrics.rounds, low.slowdown, low.megaround
-    );
-    println!("  max node energy: {} awake rounds", low.metrics.max_energy());
-    println!("  mean node energy: {:.1} awake rounds", low.metrics.mean_energy());
-    println!("  layered-cover levels: {}", low.cover_levels);
     println!(
         "\nThe always-awake energy grows with the diameter; the low-energy bound \
          grows only with poly(log n) times the measured cover constants \

@@ -15,16 +15,21 @@
 //! # Example
 //!
 //! ```
-//! use congest_sssp_suite::graph::generators;
-//! use congest_sssp_suite::sssp::cssp::sssp;
+//! use congest_sssp_suite::graph::{generators, NodeId};
+//! use congest_sssp_suite::sssp::{Algorithm, Solver};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let g = generators::path(8, 1);
-//! let run = sssp(&g, congest_sssp_suite::graph::NodeId(0), &Default::default())?;
-//! assert_eq!(run.output.distance(congest_sssp_suite::graph::NodeId(7)).finite(), Some(7));
+//! let run = Solver::on(&g).algorithm(Algorithm::Cssp).source(NodeId(0)).run()?;
+//! assert_eq!(run.distance(NodeId(7)).finite(), Some(7));
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! `congest_sssp_suite::sssp::registry()` enumerates every algorithm the
+//! [`sssp::Solver`] facade can run, with capability flags (weighted /
+//! multi-source / sleeping-model / approximate / all-pairs / thresholded)
+//! for generic iteration.
 
 pub use congest_cover as cover;
 pub use congest_graph as graph;

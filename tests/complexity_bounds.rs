@@ -1,16 +1,21 @@
 //! Integration tests for the complexity *shapes* the paper claims: polylog
 //! congestion for the recursive CSSP, polylog participation, polylog energy
 //! growth for the sleeping-model algorithms, and the APSP scheduling gain.
+//! All runs go through the `Solver` facade and read the unified `RunReport`;
+//! only the last test reaches below it for the raw per-edge/per-node
+//! `Metrics` vectors.
 
 use congest_sssp_suite::graph::{generators, NodeId};
-use congest_sssp_suite::sssp::apsp::{apsp, ApspConfig};
-use congest_sssp_suite::sssp::baseline::distributed_bellman_ford;
+use congest_sssp_suite::sssp::apsp::ApspConfig;
 use congest_sssp_suite::sssp::cssp::cssp;
-use congest_sssp_suite::sssp::energy::low_energy_bfs;
-use congest_sssp_suite::sssp::{bfs, AlgoConfig};
+use congest_sssp_suite::sssp::{AlgoConfig, Algorithm, RunReport, Solver};
 
 fn log2(n: u32) -> f64 {
     (n.max(2) as f64).log2()
+}
+
+fn solve(g: &congest_sssp_suite::graph::Graph, algorithm: Algorithm, src: NodeId) -> RunReport {
+    Solver::on(g).algorithm(algorithm).source(src).run().unwrap().report
 }
 
 /// Unit-weight path plus heavy shortcuts from the source: Bellman–Ford
@@ -28,24 +33,21 @@ fn adversarial(n: u32) -> congest_sssp_suite::graph::Graph {
 
 #[test]
 fn cssp_congestion_is_polylog_while_bellman_ford_is_linear_on_adversarial_graphs() {
-    let cfg = AlgoConfig::default();
     let small = adversarial(64);
     let large = adversarial(192);
-    let paper_small = cssp(&small, &[NodeId(0)], &cfg).unwrap();
-    let paper_large = cssp(&large, &[NodeId(0)], &cfg).unwrap();
-    let bf_small = distributed_bellman_ford(&small, &[NodeId(0)], &cfg).unwrap();
-    let bf_large = distributed_bellman_ford(&large, &[NodeId(0)], &cfg).unwrap();
+    let paper_small = solve(&small, Algorithm::Cssp, NodeId(0));
+    let paper_large = solve(&large, Algorithm::Cssp, NodeId(0));
+    let bf_small = solve(&small, Algorithm::BellmanFord, NodeId(0));
+    let bf_large = solve(&large, Algorithm::BellmanFord, NodeId(0));
     // Bellman–Ford's congestion tracks n (×3 here); the recursion's tracks
     // log n · log D and grows far slower.
     assert!(
-        bf_large.metrics.max_congestion() as f64 > 0.5 * 192.0,
+        bf_large.max_congestion as f64 > 0.5 * 192.0,
         "Bellman–Ford congestion {} should be Θ(n)",
-        bf_large.metrics.max_congestion()
+        bf_large.max_congestion
     );
-    let bf_growth =
-        bf_large.metrics.max_congestion() as f64 / bf_small.metrics.max_congestion() as f64;
-    let paper_growth =
-        paper_large.metrics.max_congestion() as f64 / paper_small.metrics.max_congestion() as f64;
+    let bf_growth = bf_large.max_congestion as f64 / bf_small.max_congestion as f64;
+    let paper_growth = paper_large.max_congestion as f64 / paper_small.max_congestion as f64;
     assert!(bf_growth > 2.0, "Bellman–Ford congestion grew only {bf_growth}x for 3x nodes");
     assert!(
         paper_growth < bf_growth,
@@ -54,36 +56,33 @@ fn cssp_congestion_is_polylog_while_bellman_ford_is_linear_on_adversarial_graphs
     // And it is polylog: O(log n * log D) with a generous constant.
     let levels = (large.distance_upper_bound() as f64).log2().ceil();
     assert!(
-        (paper_large.metrics.max_congestion() as f64) < 8.0 * log2(192) * levels,
+        (paper_large.max_congestion as f64) < 8.0 * log2(192) * levels,
         "congestion {} is not polylogarithmic",
-        paper_large.metrics.max_congestion()
+        paper_large.max_congestion
     );
 }
 
 #[test]
 fn cssp_messages_stay_near_linear_in_m() {
-    let cfg = AlgoConfig::default();
     let g = generators::with_random_weights(&generators::random_connected(128, 256, 3), 16, 3);
-    let run = cssp(&g, &[NodeId(0)], &cfg).unwrap();
+    let report = solve(&g, Algorithm::Cssp, NodeId(0));
     let m = g.edge_count() as f64;
     let levels = (g.distance_upper_bound() as f64).log2().ceil();
     assert!(
-        (run.metrics.messages as f64) < 10.0 * m * levels * log2(g.node_count()),
+        (report.messages as f64) < 10.0 * m * levels * log2(g.node_count()),
         "messages {} should be Õ(m)",
-        run.metrics.messages
+        report.messages
     );
 }
 
 #[test]
 fn node_participation_grows_with_log_d_not_with_n() {
-    let cfg = AlgoConfig::default();
     let small = generators::with_random_weights(&generators::random_connected(32, 64, 1), 8, 1);
     let large = generators::with_random_weights(&generators::random_connected(256, 512, 1), 8, 1);
-    let run_small = cssp(&small, &[NodeId(0)], &cfg).unwrap();
-    let run_large = cssp(&large, &[NodeId(0)], &cfg).unwrap();
+    let rec_small = solve(&small, Algorithm::Cssp, NodeId(0)).recursion.unwrap();
+    let rec_large = solve(&large, Algorithm::Cssp, NodeId(0)).recursion.unwrap();
     // n grew 8x; participation should grow far slower (it tracks log D).
-    let growth = run_large.stats.max_participation() as f64
-        / run_small.stats.max_participation().max(1) as f64;
+    let growth = rec_large.max_participation as f64 / rec_small.max_participation.max(1) as f64;
     assert!(growth < 4.0, "participation grew {growth}x while n grew 8x");
 }
 
@@ -92,16 +91,14 @@ fn low_energy_bfs_energy_grows_sublinearly_in_the_diameter() {
     // Over an 8x increase in diameter the always-awake baseline's energy
     // grows ~8x, while the low-energy algorithm's energy tracks only the
     // polylogarithmic cover constants.
-    let cfg = AlgoConfig::default();
     let short = generators::path(128, 1);
     let long = generators::path(1024, 1);
-    let low_short = low_energy_bfs(&short, &[NodeId(0)], 128, &cfg).unwrap();
-    let low_long = low_energy_bfs(&long, &[NodeId(0)], 1024, &cfg).unwrap();
-    let naive_short = bfs::bfs(&short, &[NodeId(0)], &cfg).unwrap();
-    let naive_long = bfs::bfs(&long, &[NodeId(0)], &cfg).unwrap();
-    let naive_growth =
-        naive_long.metrics.max_energy() as f64 / naive_short.metrics.max_energy() as f64;
-    let low_growth = low_long.metrics.max_energy() as f64 / low_short.metrics.max_energy() as f64;
+    let low_short = solve(&short, Algorithm::LowEnergyBfs, NodeId(0));
+    let low_long = solve(&long, Algorithm::LowEnergyBfs, NodeId(0));
+    let naive_short = solve(&short, Algorithm::Bfs, NodeId(0));
+    let naive_long = solve(&long, Algorithm::Bfs, NodeId(0));
+    let naive_growth = naive_long.max_energy as f64 / naive_short.max_energy as f64;
+    let low_growth = low_long.max_energy as f64 / low_short.max_energy as f64;
     assert!(naive_growth > 6.0, "the always-awake baseline tracks D (grew {naive_growth}x)");
     assert!(
         low_growth < 0.75 * naive_growth,
@@ -111,17 +108,23 @@ fn low_energy_bfs_energy_grows_sublinearly_in_the_diameter() {
 
 #[test]
 fn apsp_scheduling_beats_sequential_composition() {
-    let cfg = AlgoConfig::default();
     let g = generators::with_random_weights(&generators::random_connected(28, 70, 2), 10, 2);
-    let run = apsp(&g, &cfg, &ApspConfig { seed: 3, ..ApspConfig::default() }).unwrap();
-    assert!(run.schedule.makespan < run.sequential_rounds / 2);
+    let run = Solver::on(&g)
+        .algorithm(Algorithm::Apsp)
+        .apsp_config(ApspConfig { seed: 3, ..ApspConfig::default() })
+        .run()
+        .unwrap();
+    let sched = run.report.schedule.unwrap();
+    assert!(sched.makespan < sched.sequential_rounds / 2);
     // Per-instance congestion stays small relative to the sequential cost —
     // that is what makes concurrent scheduling possible.
-    assert!(run.max_instance_congestion < run.sequential_rounds / g.node_count() as u64);
+    assert!(sched.max_instance_congestion < sched.sequential_rounds / g.node_count() as u64);
 }
 
 #[test]
 fn metrics_are_internally_consistent() {
+    // The one place this file reaches below the facade: the raw Metrics
+    // vectors are not part of the unified report.
     let cfg = AlgoConfig::default();
     let g = generators::with_random_weights(&generators::random_connected(48, 96, 4), 9, 4);
     let run = cssp(&g, &[NodeId(0)], &cfg).unwrap();

@@ -1,12 +1,11 @@
-//! Cross-crate integration tests: every distributed algorithm is checked
-//! against the sequential ground truth over a matrix of topologies, weight
-//! ranges, and seeds.
+//! Cross-crate integration tests: every distributed algorithm — reached
+//! uniformly through the `Solver` facade and the algorithm registry — is
+//! checked against the sequential ground truth over a matrix of topologies,
+//! weight ranges, and seeds.
 
 use congest_sssp_suite::graph::{generators, sequential, Graph, NodeId};
-use congest_sssp_suite::sssp::baseline::{distributed_bellman_ford, distributed_dijkstra};
 use congest_sssp_suite::sssp::cssp::cssp;
-use congest_sssp_suite::sssp::energy::{low_energy_bfs, low_energy_cssp};
-use congest_sssp_suite::sssp::{bfs, AlgoConfig};
+use congest_sssp_suite::sssp::{registry, AlgoConfig, Algorithm, Solver};
 
 /// The workload matrix shared by the integration tests.
 fn workloads() -> Vec<(String, Graph)> {
@@ -33,67 +32,84 @@ fn workloads() -> Vec<(String, Graph)> {
 }
 
 #[test]
-fn recursive_cssp_matches_dijkstra_on_the_whole_matrix() {
-    let cfg = AlgoConfig::default();
+fn every_exact_weighted_solver_matches_dijkstra_on_the_whole_matrix() {
+    // All-pairs solvers are covered separately (and at smaller sizes) by the
+    // registry proptest in `tests/solver_registry.rs` — running n SSSP
+    // instances per workload here would dominate the suite's runtime.
     for (name, g) in workloads() {
         let sources = [NodeId(0)];
-        let run = cssp(&g, &sources, &cfg).unwrap();
         let truth = sequential::dijkstra(&g, &sources);
-        assert_eq!(run.output.distances, truth.distances, "workload {name}");
+        for info in registry().iter().filter(|i| i.weighted && i.exact() && !i.all_pairs) {
+            let run = Solver::on(&g).algorithm(info.algorithm).sources(&sources).run().unwrap();
+            assert_eq!(
+                run.output.distances, truth.distances,
+                "workload {name}, algorithm {}",
+                info.name
+            );
+        }
     }
 }
 
 #[test]
-fn recursive_cssp_matches_dijkstra_with_multiple_sources() {
-    let cfg = AlgoConfig::default();
+fn every_exact_weighted_solver_matches_dijkstra_with_multiple_sources() {
     for (name, g) in workloads() {
         let n = g.node_count();
         let sources = [NodeId(0), NodeId(n / 2), NodeId(n - 1)];
-        let run = cssp(&g, &sources, &cfg).unwrap();
         let truth = sequential::dijkstra(&g, &sources);
-        assert_eq!(run.output.distances, truth.distances, "workload {name}");
+        for info in registry().iter().filter(|i| i.weighted && i.exact() && i.multi_source) {
+            let run = Solver::on(&g).algorithm(info.algorithm).sources(&sources).run().unwrap();
+            assert_eq!(
+                run.output.distances, truth.distances,
+                "workload {name}, algorithm {}",
+                info.name
+            );
+        }
     }
 }
 
 #[test]
-fn baselines_agree_with_the_paper_algorithm() {
-    let cfg = AlgoConfig::default();
-    for (name, g) in workloads().into_iter().take(6) {
-        let sources = [NodeId(1)];
-        let paper = cssp(&g, &sources, &cfg).unwrap();
-        let bf = distributed_bellman_ford(&g, &sources, &cfg).unwrap();
-        let dj = distributed_dijkstra(&g, &sources, &cfg).unwrap();
-        assert_eq!(paper.output.distances, bf.output.distances, "workload {name}");
-        assert_eq!(paper.output.distances, dj.output.distances, "workload {name}");
-    }
-}
-
-#[test]
-fn low_energy_bfs_agrees_with_always_awake_bfs() {
-    let cfg = AlgoConfig::default();
+fn every_bfs_solver_matches_sequential_bfs() {
     for (name, g) in workloads().into_iter().take(8) {
         let sources = [NodeId(0)];
-        let limit = g.node_count() as u64;
-        let low = low_energy_bfs(&g, &sources, limit, &cfg).unwrap();
-        let naive = bfs::bfs(&g, &sources, &cfg).unwrap();
-        assert_eq!(low.output.distances, naive.output.distances, "workload {name}");
+        let truth = sequential::bfs(&g, &sources);
+        for info in registry().iter().filter(|i| !i.weighted) {
+            let run = Solver::on(&g).algorithm(info.algorithm).sources(&sources).run().unwrap();
+            assert_eq!(
+                run.output.distances, truth.distances,
+                "workload {name}, algorithm {}",
+                info.name
+            );
+        }
     }
 }
 
 #[test]
-fn low_energy_cssp_matches_dijkstra_on_weighted_graphs() {
+fn free_function_wrappers_agree_with_the_facade() {
+    // The per-algorithm free functions remain as thin entry points under the
+    // facade; both paths must produce identical outputs and metrics.
     let cfg = AlgoConfig::default();
-    for (name, g) in workloads().into_iter().take(5) {
-        let sources = [NodeId(0)];
-        let run = low_energy_cssp(&g, &sources, &cfg).unwrap();
-        let truth = sequential::dijkstra(&g, &sources);
-        assert_eq!(run.output.distances, truth.distances, "workload {name}");
+    for (name, g) in workloads().into_iter().take(4) {
+        let sources = [NodeId(1)];
+        let direct = cssp(&g, &sources, &cfg).unwrap();
+        let facade = Solver::on(&g)
+            .algorithm(Algorithm::Cssp)
+            .sources(&sources)
+            .config(cfg.clone())
+            .run()
+            .unwrap();
+        assert_eq!(direct.output, facade.output, "workload {name}");
+        assert_eq!(direct.metrics.rounds, facade.report.rounds, "workload {name}");
+        assert_eq!(direct.metrics.messages, facade.report.messages, "workload {name}");
+        assert_eq!(
+            direct.metrics.max_congestion(),
+            facade.report.max_congestion,
+            "workload {name}"
+        );
     }
 }
 
 #[test]
 fn zero_weight_graphs_are_handled_end_to_end() {
-    let cfg = AlgoConfig::default();
     for seed in 0..3u64 {
         let g = generators::with_random_weights_zero(
             &generators::random_connected(30, 60, seed),
@@ -101,7 +117,7 @@ fn zero_weight_graphs_are_handled_end_to_end() {
             seed,
         );
         let sources = [NodeId(0), NodeId(15)];
-        let run = cssp(&g, &sources, &cfg).unwrap();
+        let run = Solver::on(&g).algorithm(Algorithm::Cssp).sources(&sources).run().unwrap();
         let truth = sequential::dijkstra(&g, &sources);
         assert_eq!(run.output.distances, truth.distances, "seed {seed}");
     }

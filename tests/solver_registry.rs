@@ -1,0 +1,76 @@
+//! Registry-driven differential tests: the capability flags of
+//! `congest_sssp::registry()` are load-bearing — every algorithm that
+//! *claims* exact weighted distances must agree with the Dijkstra reference
+//! on random connected graphs, whatever its execution model (always-awake,
+//! sleeping, or the all-pairs composition). A solver added to the registry
+//! is picked up here automatically.
+
+use congest_sssp_suite::graph::{generators, sequential, Graph, NodeId};
+use congest_sssp_suite::sssp::{registry, Solver};
+use proptest::prelude::*;
+
+/// Small graphs: the all-pairs entry runs one SSSP instance per node.
+fn small_weighted_graph() -> impl Strategy<Value = (Graph, NodeId)> {
+    (3u32..16, 0u64..20, 0u64..10_000, 1u64..24).prop_map(|(n, extra, seed, max_w)| {
+        let g = generators::random_connected(n, extra, seed);
+        let g = generators::with_random_weights(&g, max_w, seed ^ 0xd1ff);
+        (g, NodeId((seed % n as u64) as u32))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every algorithm whose registry entry claims exact weighted distances
+    /// agrees with the Dijkstra baseline.
+    #[test]
+    fn exact_weighted_algorithms_agree_with_dijkstra((g, src) in small_weighted_graph()) {
+        let truth = sequential::dijkstra(&g, &[src]);
+        for info in registry().iter().filter(|i| i.weighted && i.exact()) {
+            let run = Solver::on(&g).algorithm(info.algorithm).source(src).run().unwrap();
+            prop_assert_eq!(
+                &run.output.distances, &truth.distances,
+                "algorithm {} diverged from Dijkstra", info.name
+            );
+            // The unified report is consistent with the output.
+            prop_assert_eq!(
+                run.report.reached,
+                run.output.reached_count() as u64,
+                "algorithm {}", info.name
+            );
+            // All-pairs entries also expose the full matrix; its row for the
+            // requested source must be the reported output.
+            if info.all_pairs {
+                let matrix = run.all_pairs.as_ref().expect("all-pairs matrix");
+                prop_assert_eq!(&matrix[src.index()], &run.output.distances);
+                let full_truth = sequential::all_pairs(&g);
+                prop_assert_eq!(matrix, &full_truth, "algorithm {}", info.name);
+            } else {
+                prop_assert!(run.all_pairs.is_none());
+            }
+        }
+    }
+
+    /// Approximate algorithms stay within their self-reported error bound
+    /// and never drop a node that exact algorithms reach within the
+    /// untruncated threshold.
+    #[test]
+    fn approximate_algorithms_respect_their_error_bound((g, src) in small_weighted_graph()) {
+        let truth = sequential::dijkstra(&g, &[src]);
+        for info in registry().iter().filter(|i| i.weighted && i.approximate) {
+            let run = Solver::on(&g).algorithm(info.algorithm).source(src).run().unwrap();
+            let bound = run.report.error_bound.expect("approximate solvers report a bound");
+            for v in g.nodes() {
+                let est = run.distance(v);
+                let t = truth.distance(v);
+                if let (Some(est), Some(t)) = (est.finite(), t.finite()) {
+                    prop_assert!(
+                        t <= est && est <= t + bound,
+                        "algorithm {}: node {} estimate {} vs truth {} (+{})",
+                        info.name, v, est, t, bound
+                    );
+                }
+            }
+        }
+    }
+}

@@ -208,6 +208,21 @@ macro_rules! prop_assert_eq {
             }
         }
     };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                $crate::prop_assert!(
+                    left == right,
+                    "assertion failed: {} == {}\n  left: {:?}\n right: {:?}: {}",
+                    stringify!($left),
+                    stringify!($right),
+                    left,
+                    right,
+                    format!($($fmt)*)
+                );
+            }
+        }
+    };
 }
 
 /// Fails the current case if the two values are equal.
