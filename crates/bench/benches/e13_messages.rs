@@ -1,0 +1,55 @@
+//! E13: message-fabric throughput — the zero-allocation message path vs the
+//! retained naive reference delivery, on always-awake message-saturated
+//! workloads where the sleep scheduler cannot help.
+//!
+//! The star group additionally benches the satellite of the fabric refactor:
+//! `NodeCtx::send`'s neighbour lookup. On a star's hub every round issues
+//! `degree` targeted sends, so the pre-index linear adjacency scan cost
+//! `Θ(degree²)` per round where the precomputed neighbour→adjacency index
+//! costs `Θ(degree)` — grow the star and the gap grows linearly.
+
+use congest_graph::{generators, NodeId};
+use congest_sim::workloads::{Flood, HubPingPong};
+use congest_sim::{Engine, SimConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_flood(c: &mut Criterion) {
+    let cfg = SimConfig::default();
+    let mut group = c.benchmark_group("e13_flood");
+    group.sample_size(10);
+    for n in [256u32, 1024] {
+        let g = generators::random_connected(n, 3 * n as u64, 29);
+        let rounds = 128u64;
+        // Construction (including the O(m) neighbour-index build) is hoisted
+        // out of the timed region, matching the E13 gate's methodology.
+        let engine = Engine::new(&g, cfg.clone());
+        group.bench_with_input(BenchmarkId::new("active_set", n), &engine, |b, e| {
+            b.iter(|| e.run(|id| Flood::new(id, rounds)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("reference", n), &engine, |b, e| {
+            b.iter(|| e.run_reference(|id| Flood::new(id, rounds)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_star_sends(c: &mut Criterion) {
+    let cfg = SimConfig::default();
+    let mut group = c.benchmark_group("e13_star_sends");
+    group.sample_size(10);
+    for n in [512u32, 2048] {
+        let g = generators::star(n, 1);
+        let rounds = 32u64;
+        let engine = Engine::new(&g, cfg.clone());
+        group.bench_with_input(BenchmarkId::new("active_set", n), &engine, |b, e| {
+            b.iter(|| e.run(|id| HubPingPong::new(id == NodeId(0), rounds)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("reference", n), &engine, |b, e| {
+            b.iter(|| e.run_reference(|id| HubPingPong::new(id == NodeId(0), rounds)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flood, bench_star_sends);
+criterion_main!(benches);

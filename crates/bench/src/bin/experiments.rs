@@ -11,7 +11,10 @@
 //! cargo run --release -p congest-bench --bin experiments -- engine-json
 //! #   runs only E11 (engine throughput) and writes BENCH_engine.json
 //! cargo run --release -p congest-bench --bin experiments -- apsp-json
-//! #   runs only E12 (APSP throughput, n = 512) and writes BENCH_apsp.json
+//! #   runs only E12 (APSP throughput, n = 256; E12_GATE_FULL=1 for n = 512)
+//! #   and writes BENCH_apsp.json
+//! cargo run --release -p congest-bench --bin experiments -- messages-json
+//! #   runs only E13 (message throughput) and writes BENCH_messages.json
 //! ```
 //!
 //! All rows render through the generic `congest_bench::table` formatter, so
@@ -23,8 +26,9 @@
 use congest_bench::table::{render, TableRow};
 use congest_bench::{
     bench_out_path, e10_recursion, e11_engine_throughput, e12_apsp_throughput,
-    e12_apsp_throughput_at, e1_e3_sssp_comparison, e4_cutter, e5_energy_bfs, e6_energy_cssp,
-    e7_apsp, e8_cover_quality, e9_spanning_forest, json::array, Scale,
+    e12_apsp_throughput_at, e13_message_throughput, e1_e3_sssp_comparison, e4_cutter,
+    e5_energy_bfs, e6_energy_cssp, e7_apsp, e8_cover_quality, e9_spanning_forest, json::array,
+    Scale,
 };
 use congest_sssp::registry;
 
@@ -84,17 +88,63 @@ fn main() {
         return;
     }
 
+    if args.iter().any(|a| a == "messages-json") {
+        // CI mode: only the message-throughput experiment, plus its artifact.
+        // This is the release-mode gate on the zero-allocation message
+        // fabric: on always-awake workloads the active-set engine has no
+        // scheduling advantage, so the ratio isolates the message path.
+        println!("# Experiment tables (message-fabric gate)");
+        let e13 = e13_message_throughput(Scale::Quick);
+        print_section(
+            "E13: message throughput (zero-allocation fabric vs reference delivery)",
+            &e13,
+        );
+        write_artifact(
+            "BENCH_messages.json",
+            format!(
+                "{{\"experiment\": \"e13_message_throughput\", \"scale\": \"Quick\", \"rows\": {}}}",
+                array(&e13)
+            ),
+        );
+        assert!(
+            e13.iter().all(|r| r.metrics_match),
+            "active-set and reference engines diverged; see the table above"
+        );
+        // The fabric is single-threaded, so unlike E12 this bar needs no
+        // core-count grading: it must hold on one core. The bar is 3x
+        // because the *seed* (allocating) message path already measured 2.6x
+        // on this ratio — only the zero-allocation fabric clears 3x (measured
+        // 4.7x locally; the fabric itself is 3.2x over the seed path, see
+        // EXPERIMENTS.md E13).
+        let flood = e13
+            .iter()
+            .find(|r| r.workload == "flood-random" && r.engine == "active-set")
+            .expect("flood-random row present");
+        assert!(
+            flood.speedup_vs_reference >= 3.0,
+            "message fabric regression: flood-random speedup {:.2}x < 3x",
+            flood.speedup_vs_reference
+        );
+        return;
+    }
+
     if args.iter().any(|a| a == "apsp-json") {
         // CI mode: only the APSP-throughput experiment at the acceptance
         // size, plus its artifact. The gate fails loudly on a result mismatch
         // or a wall-clock regression rather than archiving it green.
-        println!("# Experiment tables (APSP gate, n = 512)");
-        let e12 = e12_apsp_throughput_at(&[512]);
+        //
+        // The default gate size is 256, which a single core finishes in well
+        // under a minute; set E12_GATE_FULL=1 for the n = 512 sweep recorded
+        // in EXPERIMENTS.md (minutes on one core, worth it on >= 4).
+        let full = std::env::var("E12_GATE_FULL").map(|v| v == "1").unwrap_or(false);
+        let (gate_n, scale_label) = if full { (512u32, "Gate512") } else { (256, "Gate256") };
+        println!("# Experiment tables (APSP gate, n = {gate_n})");
+        let e12 = e12_apsp_throughput_at(&[gate_n]);
         print_section("E12: APSP throughput (parallel streaming driver vs reference driver)", &e12);
         write_artifact(
             "BENCH_apsp.json",
             format!(
-                "{{\"experiment\": \"e12_apsp_throughput\", \"scale\": \"Gate512\", \"rows\": {}}}",
+                "{{\"experiment\": \"e12_apsp_throughput\", \"scale\": \"{scale_label}\", \"rows\": {}}}",
                 array(&e12)
             ),
         );
@@ -104,7 +154,7 @@ fn main() {
         );
         let parallel = e12
             .iter()
-            .find(|r| r.driver == "parallel-streaming" && r.n == 512)
+            .find(|r| r.driver == "parallel-streaming" && r.n == gate_n)
             .expect("parallel-streaming row present");
         // The 2x bar assumes the instances can actually run in parallel
         // (CI runners have 4 vCPUs). On 2-3 cores the ideal speedup is
@@ -149,6 +199,8 @@ fn main() {
     print_section("E11: engine throughput (active-set vs reference core)", &e11);
     let e12 = e12_apsp_throughput(scale);
     print_section("E12: APSP throughput (parallel streaming driver vs reference driver)", &e12);
+    let e13 = e13_message_throughput(scale);
+    print_section("E13: message throughput (zero-allocation fabric vs reference delivery)", &e13);
 
     if json {
         use congest_bench::json::object;
@@ -164,6 +216,7 @@ fn main() {
             ("e10", array(&e10)),
             ("e11", array(&e11)),
             ("e12", array(&e12)),
+            ("e13", array(&e13)),
         ]);
         println!("\n## JSON\n");
         println!("{dump}");

@@ -742,6 +742,54 @@ pub fn e12_apsp_throughput_at(sizes: &[u32]) -> Vec<ApspThroughputRow> {
     rows
 }
 
+// ---------------------------------------------------------------------------
+// E13: message throughput (zero-allocation fabric vs reference delivery)
+// ---------------------------------------------------------------------------
+
+/// Measures message-fabric throughput (E13) at the scale's standard sizes.
+pub fn e13_message_throughput(scale: Scale) -> Vec<ThroughputRow> {
+    let (flood_n, flood_rounds, star_n, star_rounds, iters) = match scale {
+        Scale::Quick => (1024u32, 256u64, 2048u32, 64u64, 2),
+        Scale::Full => (2048, 512, 4096, 96, 3),
+    };
+    e13_message_throughput_at(flood_n, flood_rounds, star_n, star_rounds, iters)
+}
+
+/// Measures message-fabric throughput (E13) at explicit sizes: every node is
+/// awake every round, so the active-set engine has no scheduling advantage —
+/// any wall-clock gap over the reference engine is the message path itself
+/// (inline payloads, reused outbox/inbox arenas, dense capacity counters,
+/// indexed neighbour lookup). Both engines must produce identical metrics and
+/// final states. Used by the `experiments -- messages-json` CI gate.
+pub fn e13_message_throughput_at(
+    flood_n: u32,
+    flood_rounds: u64,
+    star_n: u32,
+    star_rounds: u64,
+    iters: u32,
+) -> Vec<ThroughputRow> {
+    use congest_sim::workloads::{Flood, HubPingPong};
+    let cfg = congest_sim::SimConfig::default();
+    let mut rows = Vec::new();
+
+    // Dense flood: 2m messages per round, the CONGEST capacity-1 maximum.
+    let g = generators::random_connected(flood_n, 3 * flood_n as u64, 29);
+    throughput_pair(&mut rows, "flood-random", &g, &cfg, |id| Flood::new(id, flood_rounds), iters);
+
+    // Hub/spoke targeted sends: the by-neighbour lookup on a degree-(n−1)
+    // hub, the worst case for a linear adjacency scan.
+    let g = generators::star(star_n, 1);
+    throughput_pair(
+        &mut rows,
+        "hub-pingpong-star",
+        &g,
+        &cfg,
+        |id| HubPingPong::new(id == NodeId(0), star_rounds),
+        iters,
+    );
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -865,6 +913,22 @@ mod tests {
         assert_eq!(reference.makespan, parallel.makespan);
         assert_eq!(reference.total_messages, parallel.total_messages);
         assert!(parallel.makespan < parallel.sequential_rounds, "scheduling must still win");
+    }
+
+    #[test]
+    fn e13_engines_agree_on_message_heavy_workloads() {
+        // Functional checks only: the wall-clock ratio is asserted by the
+        // release-mode `experiments -- messages-json` CI gate (the >= 3x
+        // single-core bar on flood-random), not by this debug-mode test.
+        let rows = e13_message_throughput_at(96, 40, 128, 24, 1);
+        assert_eq!(rows.len(), 4, "two workloads, two engines each");
+        assert!(rows.iter().all(|r| r.metrics_match), "engines must produce identical metrics");
+        assert!(rows.iter().all(|r| r.wall_ms > 0.0));
+        // Message-heavy means always awake: energy equals the round count.
+        for r in &rows {
+            assert_eq!(r.max_energy, r.rounds, "E13 workloads never sleep");
+            assert!(r.messages > r.rounds, "E13 workloads move many messages");
+        }
     }
 
     #[test]

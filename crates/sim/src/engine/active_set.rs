@@ -4,19 +4,37 @@
 //! node) means that in a typical low-energy execution almost every node is
 //! asleep in almost every round. The engine therefore must never iterate over
 //! all `n` nodes per round; instead this module maintains an explicit *wake
-//! queue* — a bucket queue keyed by the absolute wake round — so that a round
+//! queue* — buckets keyed by the absolute wake round — so that a round
 //! touches exactly the nodes scheduled to run in it.
+//!
+//! The queue is split in two so the common case is allocation-free:
+//!
+//! * a **ring** of [`WINDOW`] buckets for wake-ups within the next `WINDOW`
+//!   rounds. Always-awake nodes cycle through the ring's recycled `Vec`s, so
+//!   a steady-state round allocates nothing (the allocation-regression test
+//!   `tests/alloc_regression.rs` pins this);
+//! * an **overflow** `BTreeMap` for wake-ups beyond the ring horizon —
+//!   sleeping-model protocols legitimately schedule arbitrarily far ahead.
+//!   Its bucket `Vec`s are recycled through a spare pool.
 //!
 //! Invariant: a non-halted node `v` is awake in round `r` iff
 //! `wake_at[v] == r`. (`wake_at` only ever moves forward, and it is only
 //! rewritten when `v` runs, at which point its old queue entry has already
-//! been consumed — so every queue entry is live and unique.)
+//! been consumed — so every queue entry is live and unique, and all entries
+//! in one ring slot share one absolute round.)
 
 use std::collections::BTreeMap;
 
 use congest_graph::NodeId;
 
-/// Per-node status plus the wake bucket queue.
+/// Ring width: wake-ups at most this many rounds ahead stay in the
+/// allocation-free ring. Chosen to cover every always-awake cadence (wake
+/// next round) and short sleeps (e.g. megaround pulses) with room to spare;
+/// longer sleeps take the overflow path, whose cost is charged to genuinely
+/// low-duty-cycle executions.
+const WINDOW: u64 = 64;
+
+/// Per-node status plus the two-tier wake bucket queue.
 #[derive(Debug, Clone)]
 pub(crate) struct ActiveSet {
     /// The round in which each node next runs (meaningless once halted).
@@ -24,31 +42,49 @@ pub(crate) struct ActiveSet {
     /// Nodes that have halted for good.
     halted: Vec<bool>,
     halted_count: usize,
-    /// Bucket queue: wake round -> nodes scheduled to run in it. `BTreeMap`
-    /// rather than a ring buffer because sleeping-model protocols legitimately
-    /// schedule wake-ups arbitrarily far in the future.
-    buckets: BTreeMap<u64, Vec<NodeId>>,
+    /// Near-future buckets: the bucket for round `r` lives at slot
+    /// `r % WINDOW`. Draining a slot keeps its capacity, so steady-state
+    /// rescheduling never allocates.
+    ring: Vec<Vec<NodeId>>,
+    /// Far-future buckets (wake more than `WINDOW` rounds ahead), keyed by
+    /// absolute round.
+    overflow: BTreeMap<u64, Vec<NodeId>>,
+    /// Recycled bucket vectors for `overflow` inserts.
+    spare: Vec<Vec<NodeId>>,
 }
 
 impl ActiveSet {
     /// Creates the scheduler for `n` nodes, all awake in round 0 (the
     /// initialization round of the model).
     pub(crate) fn new(n: usize) -> Self {
-        let mut buckets = BTreeMap::new();
-        if n > 0 {
-            buckets.insert(0, (0..n as u32).map(NodeId).collect());
+        let mut ring = vec![Vec::new(); WINDOW as usize];
+        ring[0] = (0..n as u32).map(NodeId).collect();
+        ActiveSet {
+            wake_at: vec![0; n],
+            halted: vec![false; n],
+            halted_count: 0,
+            ring,
+            overflow: BTreeMap::new(),
+            spare: Vec::new(),
         }
-        ActiveSet { wake_at: vec![0; n], halted: vec![false; n], halted_count: 0, buckets }
     }
 
     /// Removes and returns (into `out`) the nodes awake in `round`, sorted by
     /// id so the execution order matches the reference engine's `0..n` sweep.
     pub(crate) fn take_awake(&mut self, round: u64, out: &mut Vec<NodeId>) {
         out.clear();
-        if let Some(mut bucket) = self.buckets.remove(&round) {
-            bucket.sort_unstable();
-            out.append(&mut bucket);
+        out.append(&mut self.ring[(round % WINDOW) as usize]);
+        if !self.overflow.is_empty() {
+            if let Some(mut far) = self.overflow.remove(&round) {
+                out.append(&mut far);
+                self.spare.push(far);
+            }
         }
+        debug_assert!(
+            out.iter().all(|v| self.wake_at[v.index()] == round && !self.halted[v.index()]),
+            "a bucket only holds live entries for its own round"
+        );
+        out.sort_unstable();
     }
 
     /// `true` iff `v` receives messages delivered in `round` (awake and not
@@ -62,7 +98,13 @@ impl ActiveSet {
         debug_assert!(wake_at > round, "wake-ups must move forward");
         let w = wake_at.max(round + 1);
         self.wake_at[v.index()] = w;
-        self.buckets.entry(w).or_default().push(v);
+        if w - round <= WINDOW {
+            // Slots (round, round + WINDOW] are distinct mod WINDOW, and the
+            // slot shared with `round` itself was drained by `take_awake`.
+            self.ring[(w % WINDOW) as usize].push(v);
+        } else {
+            self.overflow.entry(w).or_insert_with(|| self.spare.pop().unwrap_or_default()).push(v);
+        }
     }
 
     /// Marks `v` as halted; it never runs again.
@@ -84,8 +126,17 @@ impl ActiveSet {
     }
 
     /// The earliest round in which any node is scheduled to wake, if any.
+    /// `O(WINDOW)`: each non-empty ring slot's round is read off its first
+    /// entry's `wake_at` (all entries of a slot share one round).
     pub(crate) fn next_wake(&self) -> Option<u64> {
-        self.buckets.keys().next().copied()
+        let mut best = self.overflow.keys().next().copied();
+        for slot in &self.ring {
+            if let Some(&v) = slot.first() {
+                let w = self.wake_at[v.index()];
+                best = Some(best.map_or(w, |b| b.min(w)));
+            }
+        }
+        best
     }
 }
 
@@ -147,6 +198,50 @@ mod tests {
     fn empty_network_is_trivially_halted() {
         let a = ActiveSet::new(0);
         assert!(a.all_halted());
+        assert_eq!(a.next_wake(), None);
+    }
+
+    #[test]
+    fn far_wakeups_go_through_overflow_and_come_back() {
+        let mut a = ActiveSet::new(3);
+        let mut awake = Vec::new();
+        a.take_awake(0, &mut awake);
+        // One near, one just past the ring horizon, one far out.
+        a.reschedule(NodeId(0), 0, WINDOW); // last ring slot
+        a.reschedule(NodeId(1), 0, WINDOW + 1); // first overflow round
+        a.reschedule(NodeId(2), 0, 10 * WINDOW);
+        assert_eq!(a.next_wake(), Some(WINDOW));
+        a.take_awake(WINDOW, &mut awake);
+        assert_eq!(awake, vec![NodeId(0)]);
+        a.halt(NodeId(0));
+        assert_eq!(a.next_wake(), Some(WINDOW + 1));
+        a.take_awake(WINDOW + 1, &mut awake);
+        assert_eq!(awake, vec![NodeId(1)]);
+        a.halt(NodeId(1));
+        assert_eq!(a.next_wake(), Some(10 * WINDOW));
+        a.take_awake(10 * WINDOW, &mut awake);
+        assert_eq!(awake, vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn ring_and_overflow_entries_for_one_round_are_merged_and_sorted() {
+        let mut a = ActiveSet::new(4);
+        let mut awake = Vec::new();
+        a.take_awake(0, &mut awake);
+        let target = WINDOW + 5;
+        // Scheduled far ahead of round 0: overflow.
+        a.reschedule(NodeId(3), 0, target);
+        a.reschedule(NodeId(1), 0, target);
+        // Nodes 0 and 2 step forward and, once close enough, schedule the
+        // same round through the ring.
+        a.reschedule(NodeId(2), 0, 10);
+        a.reschedule(NodeId(0), 0, 10);
+        a.take_awake(10, &mut awake);
+        assert_eq!(awake, vec![NodeId(0), NodeId(2)]);
+        a.reschedule(NodeId(0), 10, target);
+        a.reschedule(NodeId(2), 10, target);
+        a.take_awake(target, &mut awake);
+        assert_eq!(awake, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
         assert_eq!(a.next_wake(), None);
     }
 }

@@ -6,18 +6,18 @@
 //! per-node `(start, len)` range indexes, rebuilt in place each round with a
 //! counting pass. All per-node index vectors are allocated once and reset
 //! through a touched-list, so the per-round cost is `O(deliveries)`, not
-//! `O(n)`.
+//! `O(n)` — and since [`Message`] carries its payload inline and is `Copy`,
+//! the placement pass is a flat move with **zero per-message allocations**
+//! once the arena's capacity has warmed up.
 
 use congest_graph::{EdgeId, NodeId};
 
-use crate::message::InFlight;
+use crate::message::{InFlight, Words};
 use crate::Message;
 
 /// A placeholder message used to pre-size the arena before the placement
-/// pass; its empty payload never allocates.
-fn placeholder() -> Message {
-    Message { from: NodeId(0), edge: EdgeId(0), words: Vec::new() }
-}
+/// pass; plain `Copy` data, so pre-sizing is a memset-like fill.
+const PLACEHOLDER: Message = Message { from: NodeId(0), edge: EdgeId(0), words: Words::EMPTY };
 
 /// Flat inbox storage for one round of deliveries.
 #[derive(Debug, Clone)]
@@ -90,7 +90,7 @@ impl DeliveryArena {
 
         // Placement pass: move every deliverable message into its slot.
         self.msgs.clear();
-        self.msgs.resize_with(offset as usize, placeholder);
+        self.msgs.resize(offset as usize, PLACEHOLDER);
         for flight in incoming.drain(..) {
             if receptive(flight.to) {
                 let c = &mut self.cursor[flight.to.index()];
@@ -121,7 +121,8 @@ mod tests {
     fn flight(from: u32, to: u32, word: u64) -> InFlight {
         InFlight {
             to: NodeId(to),
-            msg: Message { from: NodeId(from), edge: EdgeId(0), words: vec![word] },
+            sent_words: 1,
+            msg: Message { from: NodeId(from), edge: EdgeId(0), words: Words::new(&[word]) },
         }
     }
 

@@ -9,6 +9,12 @@
 //!   inbox allocation; rebuilt with a counting pass in `O(deliveries)`.
 //! * `capacity` — dense per-edge-direction CONGEST capacity counters reset
 //!   through a touched-list.
+//!
+//! Together with the inline-payload [`Message`] (see [`crate::Words`]) and
+//! the engine-owned, round-reused outbox that [`NodeCtx`] borrows, the whole
+//! message path — send, in-flight, delivery — is allocation-free in steady
+//! state; `tests/alloc_regression.rs` pins that with a counting global
+//! allocator.
 //! * `reference` — the retained naive `O(n)`-per-round loop
 //!   ([`Engine::run_reference`]), the semantic oracle for differential tests
 //!   and the baseline of the E11 engine-throughput experiment (see
@@ -23,8 +29,8 @@ use congest_graph::{EdgeId, Graph, NodeId};
 
 use crate::message::InFlight;
 use crate::metrics::{EdgeUsageTrace, Metrics};
-use crate::node::{NodeCtx, NodeRequest};
-use crate::{Message, Network, Protocol, SimConfig, SimError};
+use crate::node::NodeCtx;
+use crate::{Network, Protocol, SimConfig, SimError};
 
 use active_set::ActiveSet;
 use capacity::CapacityTracker;
@@ -61,8 +67,8 @@ impl<'g> Engine<'g> {
     }
 
     /// The network this engine simulates.
-    pub fn network(&self) -> Network<'g> {
-        self.network
+    pub fn network(&self) -> &Network<'g> {
+        &self.network
     }
 
     /// The model configuration.
@@ -107,12 +113,15 @@ impl<'g> Engine<'g> {
             if self.config.record_edge_trace { Some(EdgeUsageTrace::default()) } else { None };
 
         // Double-buffered in-flight messages: `incoming` was sent last round
-        // and is delivered now; `outgoing` collects this round's sends.
+        // and is delivered now; `outgoing` is the round's shared outbox that
+        // every awake node's `NodeCtx` appends into. Both keep their capacity
+        // across rounds, so the steady-state message path never allocates.
         let mut incoming: Vec<InFlight> = Vec::new();
         let mut outgoing: Vec<InFlight> = Vec::new();
         let mut awake: Vec<NodeId> = Vec::new();
         let mut this_round_trace: Vec<(EdgeId, u32)> = Vec::new();
         let mut round: u64 = 0;
+        let max_words = self.config.effective_max_words();
 
         loop {
             if round > self.config.max_rounds {
@@ -135,21 +144,23 @@ impl<'g> Engine<'g> {
             this_round_trace.clear();
             for &v in &awake {
                 metrics.node_energy[v.index()] += 1;
-                let mut ctx = NodeCtx::new(v, graph.node_count(), round, graph.neighbors(v));
+                let sends_from = outgoing.len();
+                let mut ctx = NodeCtx::new(v, round, &self.network, &mut outgoing);
                 if round == 0 {
                     states[v.index()].init(&mut ctx);
                 } else {
                     states[v.index()].on_round(&mut ctx, arena.inbox(v));
                 }
-                let NodeRequest { outbox, wake_at, halt } = ctx.request;
-                // Process sends.
-                for (edge, to, words) in outbox {
-                    if words.len() > self.config.max_message_words {
+                let (wake_at, halt) = (ctx.wake_at, ctx.halt);
+                // Validate and account this node's sends in place.
+                for flight in &outgoing[sends_from..] {
+                    let edge = flight.msg.edge;
+                    if flight.sent_words > max_words {
                         if self.config.strict_capacity {
                             return Err(SimError::MessageTooLarge {
                                 node: v,
-                                words: words.len(),
-                                max_words: self.config.max_message_words,
+                                words: flight.sent_words,
+                                max_words,
                             });
                         }
                         metrics.capacity_violations += 1;
@@ -171,7 +182,6 @@ impl<'g> Engine<'g> {
                     if trace.is_some() {
                         this_round_trace.push((edge, 1));
                     }
-                    outgoing.push(InFlight { to, msg: Message { from: v, edge, words } });
                 }
                 // Process sleep/halt requests.
                 if halt {
@@ -229,6 +239,7 @@ impl<'g> Engine<'g> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Message;
     use congest_graph::{generators, Distance};
 
     /// Single-source BFS where every node halts once its distance stabilizes

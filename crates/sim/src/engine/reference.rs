@@ -15,7 +15,7 @@ use congest_graph::{EdgeId, NodeId};
 
 use crate::message::InFlight;
 use crate::metrics::{EdgeUsageTrace, Metrics};
-use crate::node::{NodeCtx, NodeRequest};
+use crate::node::NodeCtx;
 use crate::{Engine, Message, Protocol, RunOutcome, SimError};
 
 /// Per-node bookkeeping of the reference loop.
@@ -89,21 +89,26 @@ impl Engine<'_> {
                 }
                 any_awake = true;
                 metrics.node_energy[v.index()] += 1;
-                let mut ctx = NodeCtx::new(v, graph.node_count(), round, graph.neighbors(v));
+                // A freshly allocated outbox per node, as the pre-refactor
+                // engine did — this loop deliberately keeps the naive
+                // allocation profile the E13 experiment baselines against.
+                let mut outbox: Vec<InFlight> = Vec::new();
+                let mut ctx = NodeCtx::new(v, round, self.network(), &mut outbox);
                 if round == 0 {
                     states[v.index()].init(&mut ctx);
                 } else {
                     states[v.index()].on_round(&mut ctx, &inboxes[v.index()]);
                 }
-                let NodeRequest { outbox, wake_at, halt } = ctx.request;
+                let (wake_at, halt) = (ctx.wake_at, ctx.halt);
                 // Process sends.
-                for (edge, to, words) in outbox {
-                    if words.len() > config.max_message_words {
+                for flight in &outbox {
+                    let edge = flight.msg.edge;
+                    if flight.sent_words > config.effective_max_words() {
                         if config.strict_capacity {
                             return Err(SimError::MessageTooLarge {
                                 node: v,
-                                words: words.len(),
-                                max_words: config.max_message_words,
+                                words: flight.sent_words,
+                                max_words: config.effective_max_words(),
                             });
                         }
                         metrics.capacity_violations += 1;
@@ -126,8 +131,8 @@ impl Engine<'_> {
                     if trace.is_some() {
                         this_round_trace.push((edge, 1));
                     }
-                    in_flight.push(InFlight { to, msg: Message { from: v, edge, words } });
                 }
+                in_flight.append(&mut outbox);
                 // Process sleep/halt requests.
                 let st = &mut status[v.index()];
                 if halt {

@@ -40,6 +40,12 @@
 //! as [`Engine::run_reference`], the oracle for differential tests and the
 //! baseline of the engine-throughput experiment (`EXPERIMENTS.md`, E11).
 //!
+//! The message path itself is *allocation-free in steady state*: payloads are
+//! inline [`Words`] values (a message is `B = O(log n)` bits — a constant
+//! number of words), [`Message`] is `Copy`, and sends land in engine-owned,
+//! round-reused buffers. See the E13 message-throughput experiment and
+//! `tests/alloc_regression.rs`.
+//!
 //! # Writing a protocol
 //!
 //! A protocol is a per-node state machine implementing [`Protocol`]. The
@@ -106,7 +112,7 @@ pub mod workloads;
 
 pub use engine::{Engine, RunOutcome};
 pub use error::SimError;
-pub use message::Message;
+pub use message::{Message, Words};
 pub use metrics::{EdgeUsageTrace, Metrics};
 pub use network::Network;
 pub use node::{NodeCtx, Protocol};
@@ -125,6 +131,13 @@ pub struct SimConfig {
     /// Maximum number of `u64` words per message (`B = O(log n)` bits in the
     /// paper; one word comfortably holds an id or a distance, so a constant
     /// number of words is `O(log n)` bits).
+    ///
+    /// Message payloads are stored *inline* with capacity [`Words::CAPACITY`]
+    /// (= the default here), so values above that are clamped: the engines
+    /// enforce [`SimConfig::effective_max_words`]. In lenient mode
+    /// (`strict_capacity: false`) an oversized send is counted as a violation
+    /// and delivered truncated to the inline capacity — identically in both
+    /// engines.
     pub max_message_words: usize,
     /// Hard limit on the number of simulated rounds; exceeded limits produce
     /// [`SimError::RoundLimitExceeded`] rather than looping forever.
@@ -175,5 +188,12 @@ impl SimConfig {
     pub fn with_max_rounds(mut self, max_rounds: u64) -> Self {
         self.max_rounds = max_rounds;
         self
+    }
+
+    /// The per-message word bound the engines actually enforce:
+    /// [`SimConfig::max_message_words`] clamped to the inline payload
+    /// capacity [`Words::CAPACITY`].
+    pub fn effective_max_words(&self) -> usize {
+        self.max_message_words.min(Words::CAPACITY)
     }
 }

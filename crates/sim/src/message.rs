@@ -1,38 +1,176 @@
 //! Messages exchanged between neighbouring nodes.
+//!
+//! # Design: inline payloads and the CONGEST bandwidth bound
+//!
+//! In the CONGEST model a message carries `B = O(log n)` bits (the paper,
+//! Section 1.2). One `u64` word comfortably holds a node id, an edge id, or a
+//! distance bounded by `n · max_w ≤ poly(n)`, so `O(log n)` bits is a small
+//! *constant* number of words for any graph this workspace simulates — the
+//! default [`crate::SimConfig::max_message_words`] is [`Words::CAPACITY`].
+//!
+//! The simulator exploits that correspondence structurally: a payload is a
+//! [`Words`] value — a fixed-capacity `[u64; CAPACITY]` buffer plus a length,
+//! stored *inline* in the [`Message`] — rather than a heap-allocated
+//! `Vec<u64>`. [`Message`] is therefore `Copy`, and the engine can move
+//! messages through its outbox, in-flight, and inbox stages as flat `memcpy`s
+//! of plain structs with **zero heap allocations per message**. The
+//! allocation-regression test `tests/alloc_regression.rs` pins this property:
+//! after warm-up, a message-saturated round performs no allocation at all.
+//!
+//! A send longer than the inline capacity is, by construction, a violation of
+//! the model's bandwidth bound, and the engine polices it through
+//! `max_message_words` exactly as before: a hard [`crate::SimError`] under
+//! `strict_capacity` (the default), or a counted violation with the payload
+//! truncated to the inline capacity in lenient mode. Truncation is identical
+//! in both engines, so differential harnesses stay bit-exact.
+
+use std::fmt;
+use std::ops::Deref;
 
 use congest_graph::{EdgeId, NodeId};
 
+/// The inline payload capacity, in `u64` words.
+const INLINE_WORDS: usize = 4;
+
+/// A fixed-capacity inline message payload: up to [`Words::CAPACITY`] `u64`
+/// words stored by value.
+///
+/// Dereferences to `&[u64]`, so indexing (`words[i]`) and iteration
+/// (`for &w in &msg.words`) work exactly as they did when the payload was a
+/// `Vec<u64>`.
+#[derive(Clone, Copy)]
+pub struct Words {
+    /// Number of valid words in `buf`.
+    len: u8,
+    /// Inline storage; entries beyond `len` are unspecified padding.
+    buf: [u64; INLINE_WORDS],
+}
+
+impl Words {
+    /// The inline payload capacity, in `u64` words. Matches the default
+    /// [`crate::SimConfig::max_message_words`]: `CAPACITY` words are
+    /// `O(log n)` bits, the CONGEST bandwidth bound.
+    pub const CAPACITY: usize = INLINE_WORDS;
+
+    /// The empty payload.
+    pub const EMPTY: Words = Words { len: 0, buf: [0; INLINE_WORDS] };
+
+    /// Copies `words` into an inline payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len() > Words::CAPACITY`. The engine's send path
+    /// truncates instead of panicking, so oversized *sends* are policed by
+    /// [`crate::SimConfig::max_message_words`] rather than by this panic.
+    pub fn new(words: &[u64]) -> Words {
+        assert!(
+            words.len() <= Words::CAPACITY,
+            "payload of {} words exceeds the inline capacity {}",
+            words.len(),
+            Words::CAPACITY
+        );
+        Words::truncated(words)
+    }
+
+    /// Copies at most [`Words::CAPACITY`] leading words of `words`, silently
+    /// dropping the rest. The engine pairs this with the recorded attempted
+    /// length, so oversized sends still trip `max_message_words`.
+    pub(crate) fn truncated(words: &[u64]) -> Words {
+        let len = words.len().min(Words::CAPACITY);
+        let mut buf = [0u64; INLINE_WORDS];
+        buf[..len].copy_from_slice(&words[..len]);
+        Words { len: len as u8, buf }
+    }
+
+    /// The payload as a slice.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.buf[..self.len as usize]
+    }
+
+    /// Number of words in the payload.
+    #[allow(clippy::len_without_is_empty)] // is_empty comes via Deref<[u64]>
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+}
+
+impl Deref for Words {
+    type Target = [u64];
+
+    fn deref(&self) -> &[u64] {
+        self.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a Words {
+    type Item = &'a u64;
+    type IntoIter = std::slice::Iter<'a, u64>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl PartialEq for Words {
+    fn eq(&self, other: &Words) -> bool {
+        // Compare only the valid prefix; the padding is unspecified.
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Words {}
+
+impl fmt::Debug for Words {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl From<&[u64]> for Words {
+    fn from(words: &[u64]) -> Words {
+        Words::new(words)
+    }
+}
+
 /// A message delivered to a node at the start of a round.
 ///
-/// Message contents are a short sequence of `u64` *words*; in the CONGEST
-/// model a message carries `B = O(log n)` bits, which corresponds to a
-/// constant number of words for any graph this workspace simulates. The
-/// engine enforces [`crate::SimConfig::max_message_words`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// The payload is a fixed-capacity inline [`Words`] value (see the module
+/// docs for the correspondence with the model's `B = O(log n)` bandwidth
+/// bound), which makes the whole message a plain `Copy` struct; the engine
+/// enforces [`crate::SimConfig::max_message_words`] on every send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Message {
     /// The neighbour that sent this message.
     pub from: NodeId,
     /// The edge over which the message travelled.
     pub edge: EdgeId,
     /// The message payload.
-    pub words: Vec<u64>,
+    pub words: Words,
 }
 
 impl Message {
-    /// Convenience accessor for the first payload word.
+    /// Returns payload word `idx`.
     ///
     /// # Panics
     ///
-    /// Panics if the message is empty.
+    /// Panics if `idx >= self.words.len()` — the payload carries fewer than
+    /// `idx + 1` words.
     pub fn word(&self, idx: usize) -> u64 {
         self.words[idx]
     }
 }
 
 /// A message queued for delivery in the next round (internal to the engine).
-#[derive(Debug, Clone)]
+///
+/// Plain `Copy` data: the engine appends these into a flat, round-reused
+/// outbox and the delivery arena moves them without cloning.
+#[derive(Debug, Clone, Copy)]
 pub(crate) struct InFlight {
     pub(crate) to: NodeId,
+    /// The payload length the sender *attempted* (may exceed the inline
+    /// capacity, in which case `msg.words` holds the truncated prefix); the
+    /// engine polices it against `max_message_words`.
+    pub(crate) sent_words: usize,
     pub(crate) msg: Message,
 }
 
@@ -42,15 +180,35 @@ mod tests {
 
     #[test]
     fn word_accessor() {
-        let m = Message { from: NodeId(1), edge: EdgeId(0), words: vec![10, 20] };
+        let m = Message { from: NodeId(1), edge: EdgeId(0), words: Words::new(&[10, 20]) };
         assert_eq!(m.word(0), 10);
         assert_eq!(m.word(1), 20);
+        assert_eq!(m.words.len(), 2);
+        assert_eq!(&m.words[..], &[10, 20]);
     }
 
     #[test]
     #[should_panic]
     fn word_accessor_panics_out_of_range() {
-        let m = Message { from: NodeId(1), edge: EdgeId(0), words: vec![] };
+        let m = Message { from: NodeId(1), edge: EdgeId(0), words: Words::EMPTY };
         let _ = m.word(0);
+    }
+
+    #[test]
+    fn words_iterate_and_compare_by_valid_prefix() {
+        let a = Words::new(&[1, 2, 3]);
+        let collected: Vec<u64> = (&a).into_iter().copied().collect();
+        assert_eq!(collected, vec![1, 2, 3]);
+        assert_ne!(Words::new(&[1, 2]), Words::new(&[1]));
+        assert_eq!(Words::new(&[1]), Words::from(&[1u64][..]));
+        assert!(Words::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn truncated_keeps_the_inline_prefix_and_new_panics() {
+        let w = Words::truncated(&[1, 2, 3, 4, 5, 6]);
+        assert_eq!(&w[..], &[1, 2, 3, 4]);
+        assert_eq!(w.len(), Words::CAPACITY);
+        assert!(std::panic::catch_unwind(|| Words::new(&[0; 5])).is_err());
     }
 }

@@ -1,21 +1,69 @@
-//! The simulated network: a thin view over a [`congest_graph::Graph`].
+//! The simulated network: a view over a [`congest_graph::Graph`] plus a
+//! precomputed neighbour→adjacency index for `O(1)` send-path lookups.
+
+use std::collections::HashMap;
 
 use congest_graph::{Adjacency, Graph, NodeId};
+
+/// Precomputed per-node neighbour→adjacency lookup.
+///
+/// [`crate::NodeCtx::send`] must resolve "the lightest edge to neighbour `u`"
+/// on every call; scanning the adjacency list makes that `O(degree)` per send
+/// — `Θ(degree²)` per round on a hub that talks to every neighbour (see the
+/// E13 star benchmark). This index resolves it in `O(1)` expected time
+/// instead, from one `O(m)` build pass at [`Network::new`].
+#[derive(Debug, Clone)]
+pub(crate) struct NeighborIndex {
+    /// `(from, to)` → the adjacency entry [`crate::NodeCtx::send`] picks: the
+    /// minimum-weight edge to `to`, resolving weight ties to the *first* such
+    /// entry in `from`'s adjacency list (the tie `Iterator::min_by_key`
+    /// resolved before the index existed, preserved bit for bit).
+    best: HashMap<(u32, u32), Adjacency>,
+}
+
+impl NeighborIndex {
+    fn build(graph: &Graph) -> NeighborIndex {
+        let mut best: HashMap<(u32, u32), Adjacency> =
+            HashMap::with_capacity(2 * graph.edge_count() as usize);
+        for v in graph.nodes() {
+            for adj in graph.neighbors(v) {
+                best.entry((v.0, adj.neighbor.0))
+                    .and_modify(|cur| {
+                        if adj.weight < cur.weight {
+                            *cur = *adj;
+                        }
+                    })
+                    .or_insert(*adj);
+            }
+        }
+        NeighborIndex { best }
+    }
+
+    /// The adjacency entry for the preferred (lightest) edge from `from` to
+    /// its neighbour `to`, or `None` if they are not adjacent.
+    pub(crate) fn best_edge_to(&self, from: NodeId, to: NodeId) -> Option<&Adjacency> {
+        self.best.get(&(from.0, to.0))
+    }
+}
 
 /// A simulated network over an undirected weighted graph.
 ///
 /// The network does not own the graph; it provides the topology queries that
 /// nodes are allowed to make locally (their own neighbourhood) plus the global
 /// parameters every node is assumed to know (`n`, as is standard in CONGEST).
-#[derive(Debug, Clone, Copy)]
+/// Construction also builds the neighbour→adjacency index the send path uses
+/// for constant-time neighbour lookups (see `NeighborIndex`).
+#[derive(Debug, Clone)]
 pub struct Network<'g> {
     graph: &'g Graph,
+    index: NeighborIndex,
 }
 
 impl<'g> Network<'g> {
-    /// Creates a network over `graph`.
+    /// Creates a network over `graph` (one `O(m)` pass to build the send
+    /// index).
     pub fn new(graph: &'g Graph) -> Self {
-        Network { graph }
+        Network { graph, index: NeighborIndex::build(graph) }
     }
 
     /// The underlying graph.
@@ -37,6 +85,11 @@ impl<'g> Network<'g> {
     pub fn neighbors(&self, v: NodeId) -> &'g [Adjacency] {
         self.graph.neighbors(v)
     }
+
+    /// The send-path lookup index.
+    pub(crate) fn index(&self) -> &NeighborIndex {
+        &self.index
+    }
 }
 
 #[cfg(test)]
@@ -52,5 +105,38 @@ mod tests {
         assert_eq!(net.edge_count(), 5);
         assert_eq!(net.neighbors(NodeId(0)).len(), 2);
         assert_eq!(net.graph().max_weight(), 2);
+    }
+
+    #[test]
+    fn index_finds_each_neighbor_in_both_directions() {
+        let g = generators::star(5, 3);
+        let net = Network::new(&g);
+        for leaf in 1..5u32 {
+            let out = net.index().best_edge_to(NodeId(0), NodeId(leaf)).expect("adjacent");
+            let back = net.index().best_edge_to(NodeId(leaf), NodeId(0)).expect("adjacent");
+            assert_eq!(out.edge, back.edge);
+            assert_eq!(out.neighbor, NodeId(leaf));
+            assert_eq!(back.neighbor, NodeId(0));
+        }
+        assert!(net.index().best_edge_to(NodeId(1), NodeId(2)).is_none(), "leaves not adjacent");
+    }
+
+    #[test]
+    fn index_prefers_lightest_edge_and_breaks_ties_like_a_scan() {
+        // Parallel edges: the index must agree with the pre-index behaviour,
+        // `filter(..).min_by_key(weight)`, which returns the *first* minimal
+        // entry of the adjacency list.
+        let g = congest_graph::Graph::from_edges(2, [(0, 1, 9), (0, 1, 2), (0, 1, 2), (0, 1, 5)])
+            .unwrap();
+        let expected = g
+            .neighbors(NodeId(0))
+            .iter()
+            .filter(|a| a.neighbor == NodeId(1))
+            .min_by_key(|a| a.weight)
+            .unwrap();
+        let net = Network::new(&g);
+        let indexed = net.index().best_edge_to(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(indexed.edge, expected.edge);
+        assert_eq!(indexed.weight, 2);
     }
 }

@@ -1,7 +1,9 @@
 //! The per-node protocol interface: [`Protocol`] and [`NodeCtx`].
 
-use congest_graph::{Adjacency, EdgeId, NodeId};
+use congest_graph::{Adjacency, EdgeId, Graph, NodeId};
 
+use crate::message::{InFlight, Words};
+use crate::network::{NeighborIndex, Network};
 use crate::Message;
 
 /// A distributed protocol, written as a per-node state machine.
@@ -26,36 +28,47 @@ pub trait Protocol {
     fn on_round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[Message]);
 }
 
-/// What a node asked the engine to do at the end of its round.
-#[derive(Debug, Clone, Default)]
-pub(crate) struct NodeRequest {
-    /// Messages to send: (edge, destination, payload).
-    pub(crate) outbox: Vec<(EdgeId, NodeId, Vec<u64>)>,
+/// The engine-provided view a node has of itself and the network during one
+/// round. All message sends and sleep requests go through this context.
+///
+/// The context owns no buffers: sends are appended, as plain [`Copy`]
+/// structs with inline payloads, into a flat outbox the engine reuses from
+/// round to round, so a send performs no heap allocation.
+#[derive(Debug)]
+pub struct NodeCtx<'a> {
+    node: NodeId,
+    node_count: u32,
+    round: u64,
+    graph: &'a Graph,
+    neighbors: &'a [Adjacency],
+    index: &'a NeighborIndex,
+    /// The engine's round outbox; this node's sends start at the position the
+    /// engine recorded before handing out the context.
+    outbox: &'a mut Vec<InFlight>,
     /// If set, the node sleeps and next wakes at this round.
     pub(crate) wake_at: Option<u64>,
     /// The node halts (stops for good; counts no further energy).
     pub(crate) halt: bool,
 }
 
-/// The engine-provided view a node has of itself and the network during one
-/// round. All message sends and sleep requests go through this context.
-#[derive(Debug)]
-pub struct NodeCtx<'a> {
-    node: NodeId,
-    node_count: u32,
-    round: u64,
-    neighbors: &'a [Adjacency],
-    pub(crate) request: NodeRequest,
-}
-
 impl<'a> NodeCtx<'a> {
     pub(crate) fn new(
         node: NodeId,
-        node_count: u32,
         round: u64,
-        neighbors: &'a [Adjacency],
+        network: &'a Network<'_>,
+        outbox: &'a mut Vec<InFlight>,
     ) -> Self {
-        NodeCtx { node, node_count, round, neighbors, request: NodeRequest::default() }
+        NodeCtx {
+            node,
+            node_count: network.node_count(),
+            round,
+            graph: network.graph(),
+            neighbors: network.neighbors(node),
+            index: network.index(),
+            outbox,
+            wake_at: None,
+            halt: false,
+        }
     }
 
     /// This node's id.
@@ -84,41 +97,68 @@ impl<'a> NodeCtx<'a> {
         self.neighbors.len()
     }
 
+    /// Appends one send to the engine's outbox: an inline copy of the
+    /// payload, plus the attempted length for the engine's bandwidth check.
+    fn push(&mut self, edge: EdgeId, to: NodeId, words: &[u64]) {
+        self.outbox.push(InFlight {
+            to,
+            sent_words: words.len(),
+            msg: Message { from: self.node, edge, words: Words::truncated(words) },
+        });
+    }
+
     /// Sends a message over the given incident edge. The message is delivered
     /// at the start of the next round, if the recipient is awake then.
+    ///
+    /// `O(1)`: the recipient is read off the edge's endpoint record.
     ///
     /// # Panics
     ///
     /// Panics if `edge` is not incident to this node.
     pub fn send_on_edge(&mut self, edge: EdgeId, words: &[u64]) {
-        let adj = self
-            .neighbors
-            .iter()
-            .find(|a| a.edge == edge)
+        let to = self
+            .endpoint_across(edge)
             .unwrap_or_else(|| panic!("edge {edge} is not incident to node {}", self.node));
-        self.request.outbox.push((edge, adj.neighbor, words.to_vec()));
+        self.push(edge, to, words);
+    }
+
+    /// The endpoint of `edge` opposite this node, if `edge` is incident.
+    fn endpoint_across(&self, edge: EdgeId) -> Option<NodeId> {
+        if edge.index() >= self.graph.edge_count() as usize {
+            return None;
+        }
+        let e = self.graph.edge(edge);
+        if e.u == self.node {
+            Some(e.v)
+        } else if e.v == self.node {
+            Some(e.u)
+        } else {
+            None
+        }
     }
 
     /// Sends a message to the given neighbour (over the lightest edge to it,
     /// if there are parallel edges).
+    ///
+    /// `O(1)`: the edge comes from the network's precomputed
+    /// neighbour→adjacency index rather than an adjacency-list scan.
     ///
     /// # Panics
     ///
     /// Panics if `neighbor` is not adjacent to this node.
     pub fn send(&mut self, neighbor: NodeId, words: &[u64]) {
         let adj = self
-            .neighbors
-            .iter()
-            .filter(|a| a.neighbor == neighbor)
-            .min_by_key(|a| a.weight)
+            .index
+            .best_edge_to(self.node, neighbor)
             .unwrap_or_else(|| panic!("node {neighbor} is not a neighbour of {}", self.node));
-        self.request.outbox.push((adj.edge, neighbor, words.to_vec()));
+        self.push(adj.edge, neighbor, words);
     }
 
     /// Sends the same message over every incident edge.
     pub fn broadcast(&mut self, words: &[u64]) {
-        for adj in self.neighbors {
-            self.request.outbox.push((adj.edge, adj.neighbor, words.to_vec()));
+        let neighbors = self.neighbors;
+        for adj in neighbors {
+            self.push(adj.edge, adj.neighbor, words);
         }
     }
 
@@ -127,7 +167,7 @@ impl<'a> NodeCtx<'a> {
     /// round as usual).
     pub fn sleep_for(&mut self, rounds: u64) {
         if rounds > 0 {
-            self.request.wake_at = Some(self.round + rounds + 1);
+            self.wake_at = Some(self.round + rounds + 1);
         }
     }
 
@@ -135,14 +175,14 @@ impl<'a> NodeCtx<'a> {
     /// `round`). A target in the past or the immediate next round is a no-op.
     pub fn sleep_until(&mut self, round: u64) {
         if round > self.round + 1 {
-            self.request.wake_at = Some(round);
+            self.wake_at = Some(round);
         }
     }
 
     /// Halts this node: it stops participating in the protocol, consumes no
     /// further energy, and the simulation ends when every node has halted.
     pub fn halt(&mut self) {
-        self.request.halt = true;
+        self.halt = true;
     }
 }
 
@@ -154,50 +194,92 @@ mod tests {
     #[test]
     fn context_send_and_broadcast_fill_outbox() {
         let g = generators::star(4, 1);
+        let net = Network::new(&g);
         let center = NodeId(0);
-        let mut ctx = NodeCtx::new(center, 4, 3, g.neighbors(center));
+        let mut outbox = Vec::new();
+        let mut ctx = NodeCtx::new(center, 3, &net, &mut outbox);
         assert_eq!(ctx.node_id(), center);
         assert_eq!(ctx.node_count(), 4);
         assert_eq!(ctx.round(), 3);
         assert_eq!(ctx.degree(), 3);
         ctx.send(NodeId(2), &[42]);
         ctx.broadcast(&[7]);
-        assert_eq!(ctx.request.outbox.len(), 4);
-        assert_eq!(ctx.request.outbox[0].1, NodeId(2));
-        assert_eq!(ctx.request.outbox[0].2, vec![42]);
+        assert_eq!(outbox.len(), 4);
+        assert_eq!(outbox[0].to, NodeId(2));
+        assert_eq!(&outbox[0].msg.words[..], &[42]);
+        assert_eq!(outbox[0].msg.from, center);
+        assert_eq!(outbox[0].sent_words, 1);
+        assert!(outbox[1..].iter().all(|f| f.msg.words[..] == [7]));
     }
 
     #[test]
     fn sleep_requests() {
         let g = generators::path(3, 1);
-        let mut ctx = NodeCtx::new(NodeId(1), 3, 10, g.neighbors(NodeId(1)));
+        let net = Network::new(&g);
+        let mut outbox = Vec::new();
+        let mut ctx = NodeCtx::new(NodeId(1), 10, &net, &mut outbox);
         ctx.sleep_for(0);
-        assert_eq!(ctx.request.wake_at, None);
+        assert_eq!(ctx.wake_at, None);
         ctx.sleep_for(5);
-        assert_eq!(ctx.request.wake_at, Some(16));
+        assert_eq!(ctx.wake_at, Some(16));
         ctx.sleep_until(12);
-        assert_eq!(ctx.request.wake_at, Some(12));
+        assert_eq!(ctx.wake_at, Some(12));
         ctx.sleep_until(3);
-        assert_eq!(ctx.request.wake_at, Some(12), "past targets are ignored");
-        assert!(!ctx.request.halt);
+        assert_eq!(ctx.wake_at, Some(12), "past targets are ignored");
+        assert!(!ctx.halt);
         ctx.halt();
-        assert!(ctx.request.halt);
+        assert!(ctx.halt);
     }
 
     #[test]
     #[should_panic(expected = "is not a neighbour")]
     fn sending_to_non_neighbor_panics() {
         let g = generators::path(3, 1);
-        let mut ctx = NodeCtx::new(NodeId(0), 3, 0, g.neighbors(NodeId(0)));
+        let net = Network::new(&g);
+        let mut outbox = Vec::new();
+        let mut ctx = NodeCtx::new(NodeId(0), 0, &net, &mut outbox);
         ctx.send(NodeId(2), &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not incident")]
+    fn sending_on_a_foreign_edge_panics() {
+        let g = generators::path(3, 1); // edges: 0-1 (e0), 1-2 (e1)
+        let net = Network::new(&g);
+        let mut outbox = Vec::new();
+        let mut ctx = NodeCtx::new(NodeId(0), 0, &net, &mut outbox);
+        ctx.send_on_edge(EdgeId(1), &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not incident")]
+    fn sending_on_an_out_of_range_edge_panics() {
+        let g = generators::path(3, 1);
+        let net = Network::new(&g);
+        let mut outbox = Vec::new();
+        let mut ctx = NodeCtx::new(NodeId(0), 0, &net, &mut outbox);
+        ctx.send_on_edge(EdgeId(99), &[1]);
     }
 
     #[test]
     fn send_prefers_lightest_parallel_edge() {
         let g = congest_graph::Graph::from_edges(2, [(0, 1, 9), (0, 1, 2)]).unwrap();
-        let mut ctx = NodeCtx::new(NodeId(0), 2, 0, g.neighbors(NodeId(0)));
+        let net = Network::new(&g);
+        let mut outbox = Vec::new();
+        let mut ctx = NodeCtx::new(NodeId(0), 0, &net, &mut outbox);
         ctx.send(NodeId(1), &[1]);
-        let edge = ctx.request.outbox[0].0;
+        let edge = outbox[0].msg.edge;
         assert_eq!(g.edge(edge).w, 2);
+    }
+
+    #[test]
+    fn oversized_sends_record_the_attempted_length() {
+        let g = generators::path(2, 1);
+        let net = Network::new(&g);
+        let mut outbox = Vec::new();
+        let mut ctx = NodeCtx::new(NodeId(0), 0, &net, &mut outbox);
+        ctx.broadcast(&[1, 2, 3, 4, 5, 6]);
+        assert_eq!(outbox[0].sent_words, 6, "the engine polices the attempted length");
+        assert_eq!(&outbox[0].msg.words[..], &[1, 2, 3, 4], "the payload is the inline prefix");
     }
 }

@@ -15,6 +15,17 @@
 //!   rounds per period to talk and listen, so the wavefront advances one hop
 //!   per period. Energy is `O(D)`, but only a `2/period` fraction of rounds
 //!   does any work — the profile of a megaround schedule (Section 3.1.3).
+//!
+//! Two further workloads stress the *message fabric* rather than the sleep
+//! scheduler (see `EXPERIMENTS.md`, E13): in both, every node is awake every
+//! round, so an engine can only win by moving messages cheaply:
+//!
+//! * [`Flood`] — every node broadcasts one word per round and folds its whole
+//!   inbox, saturating every edge in both directions every round. The maximal
+//!   per-round message volume the CONGEST model permits at capacity 1.
+//! * [`HubPingPong`] — a hub exchanges one message with every spoke every
+//!   round through targeted [`crate::NodeCtx::send`] calls, stressing the
+//!   per-call neighbour lookup on the highest-degree node a graph can have.
 
 use congest_graph::{Distance, Graph, NodeId};
 
@@ -155,6 +166,103 @@ impl Protocol for PulseBfs {
     }
 }
 
+/// Always-awake full-bandwidth flooding.
+///
+/// Every node starts from its id, and in every round folds the words it
+/// received into a running accumulator and broadcasts the accumulator over
+/// every incident edge. All nodes halt together after round `until`. Nothing
+/// ever sleeps, so every round moves exactly `2m` messages (one per edge per
+/// direction, the capacity-1 CONGEST maximum) — the densest message workload
+/// the model allows, and therefore the E13 message-fabric benchmark.
+///
+/// The accumulator depends on message *content and per-sender arrival
+/// order*, so two engines only agree on the final states if their delivery
+/// is bit-identical.
+#[derive(Debug, Clone)]
+pub struct Flood {
+    until: u64,
+    /// Running fold of everything received (the protocol's output).
+    pub acc: u64,
+}
+
+impl Flood {
+    /// A node of a flood that halts after round `until` (≥ 1).
+    pub fn new(id: NodeId, until: u64) -> Flood {
+        Flood { until, acc: 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(id.0 as u64 + 1) }
+    }
+}
+
+impl Protocol for Flood {
+    fn init(&mut self, ctx: &mut NodeCtx<'_>) {
+        ctx.broadcast(&[self.acc]);
+    }
+
+    fn on_round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[Message]) {
+        for msg in inbox {
+            self.acc = self.acc.rotate_left(7) ^ msg.word(0);
+        }
+        if ctx.round() >= self.until {
+            ctx.halt();
+        } else {
+            ctx.broadcast(&[self.acc]);
+        }
+    }
+}
+
+/// Always-awake hub/spoke ping-pong over targeted sends.
+///
+/// The hub sends one message to each of its neighbours every round through
+/// [`crate::NodeCtx::send`] (the by-neighbour entry point), and every spoke
+/// replies to the hub the same way; everyone halts after round `until`. On a
+/// star graph the hub issues `n − 1` targeted sends per round, which makes
+/// the per-call neighbour lookup the dominant cost: a linear adjacency scan
+/// is `Θ(degree²)` per round, the indexed lookup `Θ(degree)`.
+#[derive(Debug, Clone)]
+pub struct HubPingPong {
+    is_hub: bool,
+    until: u64,
+    /// Running fold of everything received (the protocol's output).
+    pub acc: u64,
+}
+
+impl HubPingPong {
+    /// A node of the ping-pong: `is_hub` for the high-degree centre (node 0
+    /// of [`congest_graph::generators::star`]), spokes otherwise.
+    pub fn new(is_hub: bool, until: u64) -> HubPingPong {
+        HubPingPong { is_hub, until, acc: 0 }
+    }
+
+    fn ping(&self, ctx: &mut NodeCtx<'_>) {
+        if self.is_hub {
+            for i in 0..ctx.degree() {
+                let to = ctx.neighbors()[i].neighbor;
+                ctx.send(to, &[self.acc]);
+            }
+        } else {
+            let hub = ctx.neighbors()[0].neighbor;
+            ctx.send(hub, &[self.acc]);
+        }
+    }
+}
+
+impl Protocol for HubPingPong {
+    fn init(&mut self, ctx: &mut NodeCtx<'_>) {
+        self.acc = ctx.node_id().0 as u64;
+        self.ping(ctx);
+    }
+
+    fn on_round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[Message]) {
+        for msg in inbox {
+            self.acc = self.acc.rotate_left(9) ^ msg.word(0);
+        }
+        if ctx.round() >= self.until {
+            ctx.halt();
+        } else {
+            self.ping(ctx);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,5 +352,56 @@ mod tests {
     #[should_panic(expected = "pulse period")]
     fn pulse_period_one_is_rejected() {
         let _ = PulseBfs::new(true, 1, 10);
+    }
+
+    #[test]
+    fn flood_saturates_every_edge_every_round() {
+        let g = generators::random_connected(24, 40, 3);
+        let until = 10u64;
+        let run = Engine::new(&g, SimConfig::default()).run(|id| Flood::new(id, until)).unwrap();
+        // Rounds 0..until broadcast 2m messages each; round `until` only
+        // folds and halts, so the final wave still finds everyone awake.
+        assert_eq!(run.metrics.rounds, until + 1);
+        assert_eq!(run.metrics.messages, 2 * g.edge_count() as u64 * until);
+        assert_eq!(run.metrics.messages_lost, 0);
+        assert_eq!(run.metrics.max_energy(), until + 1);
+        assert_eq!(run.metrics.capacity_violations, 0);
+    }
+
+    #[test]
+    fn hub_ping_pong_counts_match_on_a_star() {
+        let g = generators::star(16, 1);
+        let until = 6u64;
+        let run = Engine::new(&g, SimConfig::default())
+            .run(|id| HubPingPong::new(id == NodeId(0), until))
+            .unwrap();
+        // Rounds 0..until each move `degree` hub sends plus one reply per
+        // spoke; round `until` only folds and halts.
+        assert_eq!(run.metrics.rounds, until + 1);
+        assert_eq!(run.metrics.messages, 2 * 15 * until);
+        assert_eq!(run.metrics.messages_lost, 0);
+        assert_eq!(run.metrics.capacity_violations, 0);
+    }
+
+    #[test]
+    fn message_fabric_workloads_agree_across_engines() {
+        let cfg = SimConfig::default();
+        let g = generators::random_connected(20, 35, 9);
+        let fast = Engine::new(&g, cfg.clone()).run(|id| Flood::new(id, 12)).unwrap();
+        let slow = Engine::new(&g, cfg.clone()).run_reference(|id| Flood::new(id, 12)).unwrap();
+        assert_eq!(fast.metrics, slow.metrics);
+        let fa: Vec<u64> = fast.states.iter().map(|s| s.acc).collect();
+        let sa: Vec<u64> = slow.states.iter().map(|s| s.acc).collect();
+        assert_eq!(fa, sa, "flood folds must be bit-identical");
+
+        let g = generators::star(12, 1);
+        let fast =
+            Engine::new(&g, cfg.clone()).run(|id| HubPingPong::new(id == NodeId(0), 8)).unwrap();
+        let slow =
+            Engine::new(&g, cfg).run_reference(|id| HubPingPong::new(id == NodeId(0), 8)).unwrap();
+        assert_eq!(fast.metrics, slow.metrics);
+        let fa: Vec<u64> = fast.states.iter().map(|s| s.acc).collect();
+        let sa: Vec<u64> = slow.states.iter().map(|s| s.acc).collect();
+        assert_eq!(fa, sa, "ping-pong folds must be bit-identical");
     }
 }

@@ -1,0 +1,157 @@
+//! Allocation regression test for the zero-allocation message fabric.
+//!
+//! A counting global allocator wraps [`std::alloc::System`], and a
+//! message-saturated always-awake protocol snapshots the allocation counter
+//! at the start of every round (node 0 runs first each round, so consecutive
+//! snapshots bracket exactly one full engine round: sends, capacity
+//! accounting, rescheduling, delivery, and inbox construction). After a
+//! warm-up long enough for every reused buffer — the shared outbox, the
+//! in-flight double buffer, the delivery arena, and all `WINDOW` wake-ring
+//! slots — to reach its steady capacity, **every remaining round must
+//! perform zero heap allocations**.
+//!
+//! This is the contract the inline-payload [`congest_sim::Words`] refactor
+//! establishes: in the CONGEST model a message is `O(log n)` bits, so moving
+//! one must never touch the allocator.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use congest_graph::{generators, NodeId};
+use congest_sim::{Engine, Message, NodeCtx, Protocol, SimConfig};
+
+/// Counts every allocation (alloc, alloc_zeroed, realloc); frees are not
+/// interesting here — a free implies a matching earlier allocation.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; the counter is a relaxed atomic.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Message-saturated flood whose node 0 snapshots the allocation counter at
+/// the start of each round. The protocol itself must stay allocation-free:
+/// its per-round state is a `u64` fold and a pre-sized snapshot vector.
+struct ProbedFlood {
+    until: u64,
+    acc: u64,
+    /// `(round, allocations so far)` snapshots; non-empty only on node 0,
+    /// pre-sized at construction so pushes never reallocate.
+    snapshots: Vec<(u64, u64)>,
+}
+
+impl ProbedFlood {
+    fn new(id: NodeId, until: u64) -> ProbedFlood {
+        let snapshots =
+            if id == NodeId(0) { Vec::with_capacity(until as usize + 2) } else { Vec::new() };
+        ProbedFlood { until, acc: id.0 as u64 + 1, snapshots }
+    }
+}
+
+impl Protocol for ProbedFlood {
+    fn init(&mut self, ctx: &mut NodeCtx<'_>) {
+        ctx.broadcast(&[self.acc]);
+    }
+
+    fn on_round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[Message]) {
+        if ctx.node_id() == NodeId(0) {
+            self.snapshots.push((ctx.round(), ALLOCATIONS.load(Ordering::Relaxed)));
+        }
+        for msg in inbox {
+            self.acc = self.acc.rotate_left(5) ^ msg.word(0);
+        }
+        if ctx.round() >= self.until {
+            ctx.halt();
+        } else {
+            ctx.broadcast(&[self.acc]);
+        }
+    }
+}
+
+/// One test body for both assertions: tests in one binary run on parallel
+/// threads by default, and a concurrently running test would pollute the
+/// process-global allocation counter.
+#[test]
+fn steady_state_rounds_allocate_nothing_and_the_probe_is_honest() {
+    steady_state_rounds_allocate_nothing();
+    reference_engine_allocates_every_round();
+}
+
+fn steady_state_rounds_allocate_nothing() {
+    // Always-awake flood: every round moves 2m messages, reschedules every
+    // node, and rebuilds every inbox — the maximal per-round churn of the
+    // message path. 192 nodes keep the test fast; the buffers involved are
+    // the same at any size.
+    let until: u64 = 160;
+    // The wake ring has 64 slots, each of which must grow to capacity n
+    // once; everything else warms within a couple of rounds. 96 rounds of
+    // warm-up covers the ring with margin.
+    let warmup: u64 = 96;
+    let g = generators::random_connected(192, 400, 41);
+    let run = Engine::new(&g, SimConfig::default())
+        .run(|id| ProbedFlood::new(id, until))
+        .expect("flood runs clean");
+
+    let snapshots = &run.states[0].snapshots;
+    assert_eq!(snapshots.len() as u64, until, "node 0 saw every round from 1 to until");
+
+    let mut steady_rounds = 0u64;
+    for pair in snapshots.windows(2) {
+        let [(r0, a0), (r1, a1)] = pair else { unreachable!() };
+        assert_eq!(*r1, r0 + 1, "the flood never sleeps");
+        if *r0 >= warmup {
+            steady_rounds += 1;
+            assert_eq!(
+                a1 - a0,
+                0,
+                "round {r0} -> {r1} performed {} heap allocation(s); \
+                 the steady-state message path must perform none",
+                a1 - a0
+            );
+        }
+    }
+    assert!(steady_rounds >= 48, "the steady-state window must be observable");
+}
+
+/// The probe protocol itself is honest: the same workload on the reference
+/// engine (naive per-round allocation) must allocate in *every* round —
+/// proving the counter actually observes the engine, not a fluke of inlining.
+fn reference_engine_allocates_every_round() {
+    let until: u64 = 48;
+    let g = generators::random_connected(96, 200, 43);
+    let run = Engine::new(&g, SimConfig::default())
+        .run_reference(|id| ProbedFlood::new(id, until))
+        .expect("flood runs clean");
+
+    let snapshots = &run.states[0].snapshots;
+    assert!(snapshots.len() as u64 == until);
+    for pair in snapshots.windows(2) {
+        let [(r0, a0), (_, a1)] = pair else { unreachable!() };
+        assert!(
+            a1 > a0,
+            "reference round {r0} allocated nothing — the probe is not observing the engine"
+        );
+    }
+}

@@ -55,11 +55,13 @@ impl ChaosNode {
     fn act(&mut self, ctx: &mut NodeCtx<'_>) {
         // Random sends: at most one message per incident edge, so the
         // capacity-1 CONGEST bound can only be violated through parallel
-        // edges — which the lenient configs below merely count.
+        // edges — which the lenient configs below merely count. Payload
+        // lengths deliberately straddle the inline capacity (4): oversized
+        // sends must be counted and truncated identically by both engines.
         let neighbors: Vec<_> = ctx.neighbors().to_vec();
         for adj in &neighbors {
             if self.rng.gen_range(0u32..100) < 40 {
-                let len = self.rng.gen_range(1..=3usize);
+                let len = self.rng.gen_range(1..=5usize);
                 let mut words = vec![0u64; len];
                 for w in words.iter_mut() {
                     *w = self.digest ^ self.rng.gen_range(0u64..1_000_000);
