@@ -15,6 +15,8 @@
 //! #   and writes BENCH_apsp.json
 //! cargo run --release -p congest-bench --bin experiments -- messages-json
 //! #   runs only E13 (message throughput) and writes BENCH_messages.json
+//! cargo run --release -p congest-bench --bin experiments -- chaos-json
+//! #   runs only E14 (chaos degradation matrix) and writes BENCH_chaos.json
 //! ```
 //!
 //! All rows render through the generic `congest_bench::table` formatter, so
@@ -26,9 +28,9 @@
 use congest_bench::table::{render, TableRow};
 use congest_bench::{
     bench_out_path, e10_recursion, e11_engine_throughput, e12_apsp_throughput,
-    e12_apsp_throughput_at, e13_message_throughput, e1_e3_sssp_comparison, e4_cutter,
-    e5_energy_bfs, e6_energy_cssp, e7_apsp, e8_cover_quality, e9_spanning_forest, json::array,
-    Scale,
+    e12_apsp_throughput_at, e13_message_throughput, e14_chaos_matrix, e1_e3_sssp_comparison,
+    e4_cutter, e5_energy_bfs, e6_energy_cssp, e7_apsp, e8_cover_quality, e9_spanning_forest,
+    json::array, Scale,
 };
 use congest_sssp::registry;
 
@@ -128,6 +130,80 @@ fn main() {
         return;
     }
 
+    if args.iter().any(|a| a == "chaos-json") {
+        // CI mode: only the chaos degradation matrix, plus its artifact. The
+        // artifact is written before the assertions so a regression still
+        // leaves the full matrix behind for inspection.
+        println!("# Experiment tables (chaos gate, {scale:?} scale)");
+        let e14 = e14_chaos_matrix(scale);
+        print_section("E14: chaos degradation matrix (fault injection)", &e14);
+        write_artifact(
+            "BENCH_chaos.json",
+            format!(
+                "{{\"experiment\": \"e14_chaos_matrix\", \"scale\": \"{scale:?}\", \"rows\": {}}}",
+                array(&e14)
+            ),
+        );
+        // A fault plan with a seed but zero injections must be inert: the
+        // zero-loss sweep rows are bit-identical to the fault-free baselines.
+        for row in e14.iter().filter(|r| r.loss_ppm == 0) {
+            assert!(
+                row.matches_baseline,
+                "chaos regression: {} diverged from its baseline at zero loss",
+                row.algorithm
+            );
+        }
+        // Same seed, same plan => same execution, even through a full
+        // algorithm stack (verified by a replay at the highest loss rate).
+        assert!(
+            e14.iter().all(|r| r.deterministic),
+            "chaos regression: a faulty run did not replay bit-identically; see the table above"
+        );
+        // The safety net held: no run escaped its round budget, and every
+        // row landed in a known class.
+        assert!(
+            e14.iter().all(|r| r.rounds <= r.round_budget),
+            "chaos regression: a run escaped its round budget; see the table above"
+        );
+        assert!(
+            e14.iter().all(|r| matches!(r.outcome.as_str(), "ok" | "wedged" | "failed")),
+            "chaos regression: unclassified outcome; see the table above"
+        );
+        // Differential check under active faults: both engines must apply
+        // the identical fault schedule (drops, jitter, churn) on a
+        // message-heavy workload.
+        {
+            use congest_sim::workloads::ChaosFlood;
+            use congest_sim::{Engine, FaultPlan, SimConfig};
+            let g = congest_graph::generators::random_connected(64, 128, 29);
+            let plan = FaultPlan::none()
+                .with_seed(0xC4A0_5EED)
+                .with_drop_ppm(150_000)
+                .with_max_skew(2)
+                .with_crash(congest_graph::NodeId(3), 4, Some(9))
+                .with_crash(congest_graph::NodeId(7), 2, None);
+            let cfg = SimConfig::default().with_faults(plan);
+            let fast = Engine::new(&g, cfg.clone())
+                .run(|id| ChaosFlood::new(id, 48))
+                .expect("chaos flood halts on schedule");
+            let slow = Engine::new(&g, cfg)
+                .run_reference(|id| ChaosFlood::new(id, 48))
+                .expect("chaos flood halts on schedule");
+            assert_eq!(
+                fast.metrics, slow.metrics,
+                "chaos regression: engines diverged under an active fault plan"
+            );
+            let fast_recv: Vec<u64> = fast.states.iter().map(|s| s.received).collect();
+            let slow_recv: Vec<u64> = slow.states.iter().map(|s| s.received).collect();
+            assert_eq!(
+                fast_recv, slow_recv,
+                "chaos regression: engines delivered different message sets under faults"
+            );
+            assert!(fast.metrics.fault_drops > 0, "the chaos plan must actually inject faults");
+        }
+        return;
+    }
+
     if args.iter().any(|a| a == "apsp-json") {
         // CI mode: only the APSP-throughput experiment at the acceptance
         // size, plus its artifact. The gate fails loudly on a result mismatch
@@ -201,6 +277,8 @@ fn main() {
     print_section("E12: APSP throughput (parallel streaming driver vs reference driver)", &e12);
     let e13 = e13_message_throughput(scale);
     print_section("E13: message throughput (zero-allocation fabric vs reference delivery)", &e13);
+    let e14 = e14_chaos_matrix(scale);
+    print_section("E14: chaos degradation matrix (fault injection)", &e14);
 
     if json {
         use congest_bench::json::object;
@@ -217,6 +295,7 @@ fn main() {
             ("e11", array(&e11)),
             ("e12", array(&e12)),
             ("e13", array(&e13)),
+            ("e14", array(&e14)),
         ]);
         println!("\n## JSON\n");
         println!("{dump}");

@@ -10,8 +10,8 @@ use congest_sssp::{
 };
 
 use crate::{
-    ApspRow, ApspThroughputRow, CoverRow, CutterRow, EnergyRow, ForestRow, RecursionRow, SsspRow,
-    ThroughputRow,
+    ApspRow, ApspThroughputRow, ChaosRow, CoverRow, CutterRow, EnergyRow, ForestRow, RecursionRow,
+    SsspRow, ThroughputRow,
 };
 
 /// Types that can render themselves as a JSON value.
@@ -113,8 +113,9 @@ impl_row_json! {
         thresholded,
     }
     RunReport {
-        algorithm, n, m, rounds, messages, messages_lost, max_congestion, max_energy,
-        mean_energy, reached, error_bound, sleeping, recursion, schedule,
+        algorithm, n, m, rounds, messages, messages_lost, fault_drops, fault_delays, crashes,
+        restarts, max_congestion, max_energy, mean_energy, reached, error_bound, sleeping,
+        recursion, schedule,
     }
     SleepingReport { slowdown, megaround, cover_levels }
     RecursionReport { levels, subproblems, max_participation, total_subproblem_size }
@@ -138,6 +139,10 @@ impl_row_json! {
     ApspThroughputRow {
         n, m, driver, threads, wall_ms, makespan, model_rounds, sequential_rounds,
         total_messages, speedup_vs_reference, results_match,
+    }
+    ChaosRow {
+        algorithm, loss_ppm, outcome, graceful, deterministic, matches_baseline, rounds,
+        baseline_rounds, round_budget, reached, unreached, max_abs_error, fault_drops, sleep_lost,
     }
 }
 

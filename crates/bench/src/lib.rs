@@ -18,8 +18,8 @@ use congest_graph::{generators, properties, Graph, NodeId};
 use congest_sssp::apsp::{apsp, apsp_reference, planned_threads, ApspConfig};
 use congest_sssp::spanning_forest::spanning_forest;
 use congest_sssp::{
-    registry, AlgoConfig, Algorithm, RecursionReport, RunReport, ScheduleReport, SleepingReport,
-    Solver,
+    registry, AlgoConfig, AlgoError, Algorithm, AlgorithmInfo, FaultPlan, RecursionReport,
+    RunReport, ScheduleReport, SleepingReport, Solver, SolverRun,
 };
 use serde::{Deserialize, Serialize};
 
@@ -790,6 +790,190 @@ pub fn e13_message_throughput_at(
     rows
 }
 
+// ---------------------------------------------------------------------------
+// E14: chaos degradation matrix (fault injection)
+// ---------------------------------------------------------------------------
+
+/// One measurement row of the chaos degradation matrix (E14): one algorithm
+/// at one message-loss rate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosRow {
+    /// Algorithm label (the registry's [`AlgorithmInfo::label`]).
+    pub algorithm: String,
+    /// Fault-plan drop probability in parts per million.
+    pub loss_ppm: u32,
+    /// `"ok"` (terminated within budget), `"wedged"` (burned the round
+    /// budget, i.e. hit [`congest_sim::SimError::RoundLimitExceeded`]), or
+    /// `"failed"` (any other error or a panic).
+    pub outcome: String,
+    /// `outcome == "ok"`: the algorithm degraded gracefully — it terminated
+    /// on its own under this loss rate, whatever its output quality.
+    pub graceful: bool,
+    /// Whether the faulty run replayed bit-identically. Verified by a second
+    /// run at the sweep's highest loss rate; lower rates inherit the
+    /// simulator's determinism guarantee and report `true`.
+    pub deterministic: bool,
+    /// Whether this run's output and report are bit-identical to the
+    /// fault-free baseline (expected exactly at `loss_ppm == 0`).
+    pub matches_baseline: bool,
+    /// Rounds of this run (the budget for wedged runs, 0 for failed ones).
+    pub rounds: u64,
+    /// Rounds of the fault-free baseline run.
+    pub baseline_rounds: u64,
+    /// The round budget ([`congest_sim::SimConfig::max_rounds`]) of the
+    /// faulty runs: `8 * baseline_rounds + 256`.
+    pub round_budget: u64,
+    /// Nodes with a finite output distance (0 for wedged/failed runs).
+    pub reached: u64,
+    /// Nodes the run left unreached although the graph is connected.
+    pub unreached: u64,
+    /// Largest absolute difference between a finite output distance and the
+    /// true distance (drops typically inflate estimates).
+    pub max_abs_error: u64,
+    /// Messages destroyed by the fault plan during the run.
+    pub fault_drops: u64,
+    /// Messages lost to the sleeping model (sleeping/halted recipients).
+    pub sleep_lost: u64,
+}
+
+/// Runs one registry algorithm on `g` under `cfg`, converting panics into
+/// `Err(None)` so a fault-oblivious algorithm that trips an internal
+/// invariant still lands in the matrix (as `"failed"`) instead of aborting
+/// the sweep.
+fn chaos_solve(
+    g: &Graph,
+    info: &AlgorithmInfo,
+    cfg: &AlgoConfig,
+    diameter: u64,
+) -> Result<SolverRun, Option<AlgoError>> {
+    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut req = Solver::on(g).algorithm(info.algorithm).source(NodeId(0)).config(cfg.clone());
+        // Same request shape as E5: the sleeping-model BFS builds its wake
+        // schedules for the wavefront horizon, so it is thresholded at the
+        // diameter; everything else keeps its default.
+        if info.sleeping_model && !info.weighted {
+            req = req.threshold(diameter);
+        }
+        req.run()
+    }));
+    match attempt {
+        Ok(Ok(run)) => Ok(run),
+        Ok(Err(e)) => Err(Some(e)),
+        Err(_) => Err(None),
+    }
+}
+
+/// Classifies an E14 failure: hitting the round budget is `"wedged"` (the
+/// algorithm never terminated on its own); anything else — a protocol error
+/// or a panic — is `"failed"`.
+fn chaos_outcome(err: &Option<AlgoError>) -> &'static str {
+    match err {
+        Some(AlgoError::Simulation(congest_sim::SimError::RoundLimitExceeded { .. })) => "wedged",
+        _ => "failed",
+    }
+}
+
+/// Runs the chaos degradation matrix (E14): every non-all-pairs registry
+/// algorithm on one unit-weight random connected workload, swept over
+/// increasing fault-plan message-loss rates with a fixed fault seed.
+///
+/// The fault-free baseline of each algorithm must succeed (it fixes the round
+/// budget `8 * baseline + 256` for the faulty runs); each faulty run is then
+/// classified as *graceful* (terminated within budget) or *wedged* (round
+/// budget exceeded). At the highest loss rate the run is executed twice to
+/// verify the fault schedule replays bit-identically. See
+/// `docs/FAULT_MODEL.md` for the resulting matrix and its interpretation.
+pub fn e14_chaos_matrix(scale: Scale) -> Vec<ChaosRow> {
+    const FAULT_SEED: u64 = 0xC4A0_5EED;
+    let quick_losses = [0u32, 20_000, 100_000, 200_000, 400_000];
+    let full_losses = [0u32, 5_000, 20_000, 50_000, 100_000, 200_000, 400_000];
+    let losses = scale.pick(&quick_losses, &full_losses);
+    let n: u32 = match scale {
+        Scale::Quick => 40,
+        Scale::Full => 96,
+    };
+    // Unit weights so plain BFS is the ground truth for every algorithm,
+    // weighted and unweighted alike.
+    let g = generators::random_connected(n, 2 * n as u64, 23);
+    let truth = congest_graph::sequential::bfs(&g, &[NodeId(0)]);
+    let diameter = properties::hop_diameter(&g);
+    let highest = *losses.last().expect("loss sweep is non-empty");
+    let mut rows = Vec::new();
+    for info in registry().iter().filter(|i| !i.all_pairs) {
+        let baseline = chaos_solve(&g, info, &AlgoConfig::default(), diameter)
+            .unwrap_or_else(|e| panic!("fault-free baseline failed for {}: {e:?}", info.name));
+        let baseline_rounds = baseline.report.rounds;
+        let round_budget = 8 * baseline_rounds + 256;
+        for &loss_ppm in losses {
+            let plan = FaultPlan::none().with_seed(FAULT_SEED).with_drop_ppm(loss_ppm);
+            let mut cfg = AlgoConfig::default().with_faults(plan);
+            cfg.sim.max_rounds = round_budget;
+            let run = chaos_solve(&g, info, &cfg, diameter);
+            let deterministic = if loss_ppm == highest {
+                match (&run, &chaos_solve(&g, info, &cfg, diameter)) {
+                    (Ok(a), Ok(b)) => a == b,
+                    (Err(a), Err(b)) => a == b,
+                    _ => false,
+                }
+            } else {
+                true
+            };
+            rows.push(match &run {
+                Ok(r) => {
+                    let mut max_abs_error = 0u64;
+                    let mut unreached = 0u64;
+                    for v in g.nodes() {
+                        match (r.output.distance(v).finite(), truth.distance(v).finite()) {
+                            (Some(est), Some(t)) => {
+                                max_abs_error = max_abs_error.max(est.abs_diff(t))
+                            }
+                            (None, Some(_)) => unreached += 1,
+                            _ => {}
+                        }
+                    }
+                    ChaosRow {
+                        algorithm: info.label.to_string(),
+                        loss_ppm,
+                        outcome: "ok".into(),
+                        graceful: true,
+                        deterministic,
+                        matches_baseline: r.output == baseline.output
+                            && r.report == baseline.report,
+                        rounds: r.report.rounds,
+                        baseline_rounds,
+                        round_budget,
+                        reached: r.report.reached,
+                        unreached,
+                        max_abs_error,
+                        fault_drops: r.report.fault_drops,
+                        sleep_lost: r.report.messages_lost,
+                    }
+                }
+                Err(e) => {
+                    let outcome = chaos_outcome(e);
+                    ChaosRow {
+                        algorithm: info.label.to_string(),
+                        loss_ppm,
+                        outcome: outcome.into(),
+                        graceful: false,
+                        deterministic,
+                        matches_baseline: false,
+                        rounds: if outcome == "wedged" { round_budget } else { 0 },
+                        baseline_rounds,
+                        round_budget,
+                        reached: 0,
+                        unreached: g.node_count() as u64,
+                        max_abs_error: 0,
+                        fault_drops: 0,
+                        sleep_lost: 0,
+                    }
+                }
+            });
+        }
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -882,6 +1066,33 @@ mod tests {
         for row in e10_recursion(Scale::Quick) {
             let rec = row.recursion();
             assert!(rec.max_participation <= 4 * (rec.levels as u64 + 2));
+        }
+    }
+
+    #[test]
+    fn e14_zero_loss_matches_baselines_and_all_rows_are_classified() {
+        // Functional checks only: the full matrix (and its determinism
+        // re-runs at the highest loss rate) is asserted by the release-mode
+        // `experiments -- chaos-json` CI gate; here a reduced sweep pins the
+        // classification contract in debug mode.
+        let rows = e14_chaos_matrix(Scale::Quick);
+        let algorithms = registry().iter().filter(|i| !i.all_pairs).count();
+        assert_eq!(rows.len(), algorithms * 5, "every algorithm at every loss rate");
+        for row in &rows {
+            assert!(
+                matches!(row.outcome.as_str(), "ok" | "wedged" | "failed"),
+                "unknown outcome {:?}",
+                row.outcome
+            );
+            assert_eq!(row.graceful, row.outcome == "ok");
+            assert!(row.round_budget == 8 * row.baseline_rounds + 256);
+            if row.loss_ppm == 0 {
+                // A fault plan with a seed but nothing to inject is inert:
+                // the run must be bit-identical to the fault-free baseline.
+                assert!(row.matches_baseline, "{} diverged at zero loss", row.algorithm);
+                assert_eq!(row.rounds, row.baseline_rounds);
+                assert_eq!(row.fault_drops, 0);
+            }
         }
     }
 

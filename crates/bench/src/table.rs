@@ -12,8 +12,8 @@ use std::fmt::Write as _;
 use congest_sssp::{AlgorithmInfo, RunReport, SleepingReport};
 
 use crate::{
-    ApspRow, ApspThroughputRow, CoverRow, CutterRow, EnergyRow, ForestRow, RecursionRow, SsspRow,
-    ThroughputRow,
+    ApspRow, ApspThroughputRow, ChaosRow, CoverRow, CutterRow, EnergyRow, ForestRow, RecursionRow,
+    SsspRow, ThroughputRow,
 };
 
 /// One table column: header text plus whether its cells are right-aligned
@@ -77,7 +77,10 @@ pub fn report_columns() -> Vec<Column> {
         num("m"),
         num("rounds"),
         num("messages"),
-        num("lost"),
+        // Sleeping-model losses and fault-injected drops are distinct
+        // phenomena and get distinct columns (see docs/FAULT_MODEL.md).
+        num("slept"),
+        num("fdrop"),
         num("max congestion"),
         num("max energy"),
         num("mean energy"),
@@ -92,6 +95,7 @@ pub fn report_cells(r: &RunReport) -> Vec<String> {
         r.rounds.to_string(),
         r.messages.to_string(),
         r.messages_lost.to_string(),
+        r.fault_drops.to_string(),
         r.max_congestion.to_string(),
         r.max_energy.to_string(),
         format!("{:.1}", r.mean_energy),
@@ -343,6 +347,42 @@ impl TableRow for ApspThroughputRow {
             self.total_messages.to_string(),
             format!("{:.2}x", self.speedup_vs_reference),
             self.results_match.to_string(),
+        ]
+    }
+}
+
+impl TableRow for ChaosRow {
+    fn columns() -> Vec<Column> {
+        vec![
+            text("algorithm"),
+            num("loss ppm"),
+            text("outcome"),
+            num("deterministic"),
+            num("rounds"),
+            num("baseline rounds"),
+            num("round budget"),
+            num("reached"),
+            num("unreached"),
+            num("max abs error"),
+            num("fdrop"),
+            num("slept"),
+        ]
+    }
+
+    fn cells(&self) -> Vec<String> {
+        vec![
+            self.algorithm.clone(),
+            self.loss_ppm.to_string(),
+            self.outcome.clone(),
+            self.deterministic.to_string(),
+            self.rounds.to_string(),
+            self.baseline_rounds.to_string(),
+            self.round_budget.to_string(),
+            self.reached.to_string(),
+            self.unreached.to_string(),
+            self.max_abs_error.to_string(),
+            self.fault_drops.to_string(),
+            self.sleep_lost.to_string(),
         ]
     }
 }

@@ -71,6 +71,15 @@ impl AlgoConfig {
         self
     }
 
+    /// Installs a fault plan on the underlying simulator (see
+    /// [`congest_sim::FaultPlan`] and `docs/FAULT_MODEL.md`). The default is
+    /// [`congest_sim::FaultPlan::none`], which leaves every run bit-identical
+    /// to the fault-free simulator.
+    pub fn with_faults(mut self, faults: congest_sim::FaultPlan) -> Self {
+        self.sim.faults = faults;
+        self
+    }
+
     /// Sets the cutter approximation parameter to `1 / inverse`.
     ///
     /// # Panics
@@ -111,5 +120,15 @@ mod tests {
     #[should_panic(expected = "must be positive")]
     fn zero_epsilon_inverse_rejected() {
         let _ = AlgoConfig::default().with_epsilon_inverse(0);
+    }
+
+    #[test]
+    fn with_faults_installs_the_plan_on_the_simulator() {
+        use congest_sim::FaultPlan;
+        let c = AlgoConfig::default();
+        assert!(c.sim.faults.is_none());
+        let plan = FaultPlan::none().with_seed(9).with_drop_ppm(1000);
+        let c = c.with_faults(plan.clone());
+        assert_eq!(c.sim.faults, plan);
     }
 }

@@ -142,6 +142,13 @@ pub fn low_energy_cssp(
     let mut metrics = Metrics::zero(n, m);
     metrics.rounds = rounds + cover_build_rounds + forest_metrics.rounds * base.stats.levels as u64;
     metrics.messages = base.metrics.messages;
+    // The fault counters are facts about what the fault plan did to the
+    // simulated recursion underneath, not charged quantities — carry them
+    // through so faulty runs don't report a clean fabric.
+    metrics.fault_drops = base.metrics.fault_drops;
+    metrics.fault_delays = base.metrics.fault_delays;
+    metrics.crashes = base.metrics.crashes;
+    metrics.restarts = base.metrics.restarts;
     metrics.edge_congestion = base.metrics.edge_congestion.clone();
     // Add the cluster-tree traffic to the congestion: each cluster-tree edge
     // carries a constant number of messages per period per BFS.

@@ -84,3 +84,7 @@ pub use result::{
     SourceOffset,
 };
 pub use solver::{registry, Algorithm, AlgorithmInfo, Solver, SolverRequest, SolverRun};
+
+// Fault-injection surface, re-exported so experiment drivers can build chaos
+// configurations without depending on `congest_sim` directly.
+pub use congest_sim::{CrashEvent, FaultPlan};

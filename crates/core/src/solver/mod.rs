@@ -267,6 +267,10 @@ impl SolverRequest<'_> {
                     rounds: run.schedule.model_rounds,
                     messages: run.total_messages,
                     messages_lost: 0,
+                    fault_drops: 0,
+                    fault_delays: 0,
+                    crashes: 0,
+                    restarts: 0,
                     max_congestion: run.schedule.congestion,
                     max_energy: 0,
                     mean_energy: 0.0,

@@ -51,6 +51,14 @@ pub(crate) struct ActiveSet {
     overflow: BTreeMap<u64, Vec<NodeId>>,
     /// Recycled bucket vectors for `overflow` inserts.
     spare: Vec<Vec<NodeId>>,
+    /// Nodes currently down due to a fault-injected crash (awaiting restart).
+    /// Empty (all-false) outside fault mode.
+    down: Vec<bool>,
+    /// Fault mode: a crash/restart plan is active, so queue entries may be
+    /// stale (a revived node is re-enqueued without its old entry being
+    /// removable) and [`ActiveSet::take_awake`] must filter and dedup instead
+    /// of trusting the buckets.
+    faulty: bool,
 }
 
 impl ActiveSet {
@@ -66,7 +74,17 @@ impl ActiveSet {
             ring,
             overflow: BTreeMap::new(),
             spare: Vec::new(),
+            down: vec![false; n],
+            faulty: false,
         }
+    }
+
+    /// Switches the scheduler into fault (churn) mode: queue entries are no
+    /// longer trusted to be live, and [`ActiveSet::take_awake`] filters and
+    /// dedups them. Called once, before round 0, when the engine runs with a
+    /// crash/restart plan — the fault-free path never pays for this.
+    pub(crate) fn enable_fault_filtering(&mut self) {
+        self.faulty = true;
     }
 
     /// Removes and returns (into `out`) the nodes awake in `round`, sorted by
@@ -79,6 +97,18 @@ impl ActiveSet {
                 out.append(&mut far);
                 self.spare.push(far);
             }
+        }
+        if self.faulty {
+            // Crash/restart churn leaves stale entries behind (a crashed
+            // node's pending wake-up, a revived node's duplicate), so the
+            // buckets are a superset: keep only genuinely runnable nodes and
+            // dedup after sorting.
+            out.retain(|v| {
+                self.wake_at[v.index()] == round && !self.halted[v.index()] && !self.down[v.index()]
+            });
+            out.sort_unstable();
+            out.dedup();
+            return;
         }
         debug_assert!(
             out.iter().all(|v| self.wake_at[v.index()] == round && !self.halted[v.index()]),
@@ -107,12 +137,44 @@ impl ActiveSet {
         }
     }
 
-    /// Marks `v` as halted; it never runs again.
+    /// Marks `v` as halted; it never runs again (unless a fault-injected
+    /// restart revives it — see [`ActiveSet::revive`]).
     pub(crate) fn halt(&mut self, v: NodeId) {
         if !self.halted[v.index()] {
             self.halted[v.index()] = true;
             self.halted_count += 1;
         }
+    }
+
+    /// Marks `v` as down due to a fault-injected crash: it neither runs nor
+    /// receives until revived. Requires fault mode.
+    pub(crate) fn set_down(&mut self, v: NodeId) {
+        debug_assert!(self.faulty, "churn requires fault filtering");
+        self.down[v.index()] = true;
+    }
+
+    /// `true` iff `v` is currently down due to a fault-injected crash. (The
+    /// engine tracks this authoritatively in its `FaultRuntime`; this
+    /// accessor exists for the scheduler's own tests.)
+    #[cfg(test)]
+    pub(crate) fn is_down(&self, v: NodeId) -> bool {
+        self.down[v.index()]
+    }
+
+    /// Revives `v` at `round` after a fault-injected restart: clears its
+    /// down (and, if set, halted) status and schedules it to run *this*
+    /// round. Must be called before `take_awake(round, ..)` drains the
+    /// round's bucket; requires fault mode, whose filtering also absorbs the
+    /// duplicate or stale queue entries this can create.
+    pub(crate) fn revive(&mut self, v: NodeId, round: u64) {
+        debug_assert!(self.faulty, "churn requires fault filtering");
+        self.down[v.index()] = false;
+        if self.halted[v.index()] {
+            self.halted[v.index()] = false;
+            self.halted_count -= 1;
+        }
+        self.wake_at[v.index()] = round;
+        self.ring[(round % WINDOW) as usize].push(v);
     }
 
     /// `true` once every node has halted.
@@ -137,6 +199,17 @@ impl ActiveSet {
             }
         }
         best
+    }
+
+    /// Fault-mode replacement for [`ActiveSet::next_wake`]: an `O(n)` scan of
+    /// the authoritative `wake_at` array over live (non-halted, non-down)
+    /// nodes. The bucket-based shortcut is unsound under churn — a stale
+    /// first entry can shadow a live later wake-up in the same ring slot.
+    pub(crate) fn next_wake_scan(&self) -> Option<u64> {
+        (0..self.wake_at.len())
+            .filter(|&i| !self.halted[i] && !self.down[i])
+            .map(|i| self.wake_at[i])
+            .min()
     }
 }
 
@@ -221,6 +294,36 @@ mod tests {
         assert_eq!(a.next_wake(), Some(10 * WINDOW));
         a.take_awake(10 * WINDOW, &mut awake);
         assert_eq!(awake, vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn fault_mode_filters_stale_entries_and_revives_nodes() {
+        let mut a = ActiveSet::new(3);
+        a.enable_fault_filtering();
+        let mut awake = Vec::new();
+        a.take_awake(0, &mut awake);
+        assert_eq!(awake.len(), 3);
+        a.reschedule(NodeId(0), 0, 2);
+        a.reschedule(NodeId(1), 0, 2);
+        a.halt(NodeId(2));
+        // Node 0 crashes before its wake round: its queue entry goes stale.
+        a.set_down(NodeId(0));
+        assert!(a.is_down(NodeId(0)));
+        a.take_awake(2, &mut awake);
+        assert_eq!(awake, vec![NodeId(1)], "down nodes are filtered out");
+        a.reschedule(NodeId(1), 2, 100);
+        // Down and halted nodes are invisible to the wake scan.
+        assert_eq!(a.next_wake_scan(), Some(100));
+        // Restart node 0 (clearing `down`) and even halted node 2: a revive
+        // runs the node in its own round, and duplicates are absorbed.
+        a.revive(NodeId(0), 7);
+        a.revive(NodeId(0), 7);
+        a.revive(NodeId(2), 7);
+        assert!(!a.is_down(NodeId(0)));
+        assert!(!a.all_halted() && a.unhalted() == 3);
+        assert_eq!(a.next_wake_scan(), Some(7));
+        a.take_awake(7, &mut awake);
+        assert_eq!(awake, vec![NodeId(0), NodeId(2)]);
     }
 
     #[test]

@@ -27,6 +27,7 @@ mod reference;
 
 use congest_graph::{EdgeId, Graph, NodeId};
 
+use crate::fault::{FaultAction, FaultRuntime};
 use crate::message::InFlight;
 use crate::metrics::{EdgeUsageTrace, Metrics};
 use crate::node::NodeCtx;
@@ -106,6 +107,12 @@ impl<'g> Engine<'g> {
         let m = graph.edge_count() as usize;
         let mut states: Vec<P> = graph.nodes().map(&mut factory).collect();
         let mut active = ActiveSet::new(n);
+        // The fault layer: `None` for the empty plan, which keeps every hot
+        // path below on its original (allocation-free) fault-free branch.
+        let mut faults = FaultRuntime::new(&self.config.faults, n, m);
+        if faults.is_some() {
+            active.enable_fault_filtering();
+        }
         let mut arena = DeliveryArena::new(n);
         let mut capacity = CapacityTracker::new(m);
         let mut metrics = Metrics::zero(n, m);
@@ -131,6 +138,32 @@ impl<'g> Engine<'g> {
                 });
             }
 
+            // Apply the churn events of this round before anything else: a
+            // crash takes effect at the start of its round (the node never
+            // runs in it), and a restart puts the node — with a fresh state —
+            // into this round's wake bucket.
+            if let Some(rt) = faults.as_mut() {
+                while let Some(ev) = rt.next_event(round) {
+                    match ev.action {
+                        FaultAction::Crash { permanent } => {
+                            metrics.crashes += 1;
+                            rt.crashed[ev.node.index()] = true;
+                            active.set_down(ev.node);
+                            if permanent {
+                                active.halt(ev.node);
+                            }
+                        }
+                        FaultAction::Restart => {
+                            metrics.restarts += 1;
+                            rt.crashed[ev.node.index()] = false;
+                            rt.reinit[ev.node.index()] = true;
+                            states[ev.node.index()] = factory(ev.node);
+                            active.revive(ev.node, round);
+                        }
+                    }
+                }
+            }
+
             // The nodes that run this round, in id order. Taken before
             // delivery, which reads start-of-round receptivity.
             active.take_awake(round, &mut awake);
@@ -138,7 +171,22 @@ impl<'g> Engine<'g> {
             // Deliver messages sent last round. Messages to sleeping or
             // halted nodes are lost (the defining property of the sleeping
             // model) — and counted, so protocol bugs cannot hide in silence.
-            metrics.messages_lost += arena.build(&mut incoming, |v| active.is_receptive(v, round));
+            // Under a fault plan, jitter-delayed messages due this round
+            // join the inbox stream first, and deliveries onto a crashed
+            // node are attributed to the fault layer instead.
+            if let Some(rt) = faults.as_mut() {
+                rt.merge_due(round, &mut incoming);
+                let crashed_hits =
+                    incoming.iter().filter(|f| rt.crashed[f.to.index()]).count() as u64;
+                let lost = arena.build(&mut incoming, |v| {
+                    active.is_receptive(v, round) && !rt.crashed[v.index()]
+                });
+                metrics.fault_drops += crashed_hits;
+                metrics.messages_lost += lost - crashed_hits;
+            } else {
+                metrics.messages_lost +=
+                    arena.build(&mut incoming, |v| active.is_receptive(v, round));
+            }
 
             capacity.reset();
             this_round_trace.clear();
@@ -146,7 +194,11 @@ impl<'g> Engine<'g> {
                 metrics.node_energy[v.index()] += 1;
                 let sends_from = outgoing.len();
                 let mut ctx = NodeCtx::new(v, round, &self.network, &mut outgoing);
-                if round == 0 {
+                // A node freshly revived by a fault-injected restart re-runs
+                // `init` (ignoring any inbox — both engines agree on this).
+                let run_init = round == 0
+                    || faults.as_mut().is_some_and(|rt| std::mem::take(&mut rt.reinit[v.index()]));
+                if run_init {
                     states[v.index()].init(&mut ctx);
                 } else {
                     states[v.index()].on_round(&mut ctx, arena.inbox(v));
@@ -183,6 +235,14 @@ impl<'g> Engine<'g> {
                         this_round_trace.push((edge, 1));
                     }
                 }
+                // Roll the fate of this node's sends: drops vanish (counted),
+                // jittered messages move to the pending buffer. This runs
+                // after accounting — a dropped message was still *sent*.
+                if let Some(rt) = faults.as_mut() {
+                    if rt.has_message_faults() {
+                        rt.apply_message_faults(&mut metrics, round, &mut outgoing, sends_from);
+                    }
+                }
                 // Process sleep/halt requests.
                 if halt {
                     active.halt(v);
@@ -204,18 +264,34 @@ impl<'g> Engine<'g> {
             }
 
             // Termination check: all halted and nothing in flight. Whatever
-            // was sent this round can never be delivered — count it as lost.
+            // was sent this round — including jittered messages still held in
+            // the fault layer — can never be delivered: count it as lost.
             if active.all_halted() {
                 metrics.messages_lost += outgoing.len() as u64;
+                if let Some(rt) = faults.as_ref() {
+                    metrics.messages_lost += rt.pending_count();
+                }
                 metrics.rounds = round + 1;
                 return Ok(RunOutcome { states, metrics, trace });
             }
 
             // Quiescence fast-forward: nobody ran this round (so nothing was
             // sent either) — jump straight to the next scheduled wake-up. The
-            // skipped rounds still exist in the model but cost nothing.
+            // skipped rounds still exist in the model but cost nothing. Under
+            // a fault plan the next event is the earliest of a wake-up, a
+            // pending jittered delivery, and a churn event — and the bucket
+            // shortcut `next_wake` is unsound with churn's stale entries, so
+            // the authoritative O(n) scan replaces it.
             if outgoing.is_empty() && awake.is_empty() && self.config.fast_forward_idle {
-                if let Some(w) = active.next_wake().filter(|&w| w > round) {
+                let target = if let Some(rt) = faults.as_ref() {
+                    [active.next_wake_scan(), rt.next_pending_round(), rt.next_event_round()]
+                        .into_iter()
+                        .flatten()
+                        .min()
+                } else {
+                    active.next_wake()
+                };
+                if let Some(w) = target.filter(|&w| w > round) {
                     if let Some(t) = trace.as_mut() {
                         for _ in round + 1..w {
                             t.rounds.push(Vec::new());

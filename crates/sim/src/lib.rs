@@ -25,6 +25,20 @@
 //! drops these silently; the counter makes the drops observable, because an
 //! unexpected loss is almost always a protocol bug.
 //!
+//! # Fault injection
+//!
+//! On top of the well-behaved model, [`SimConfig::faults`] can carry a
+//! seeded, deterministic [`FaultPlan`]: random message drops (uniform or
+//! per-edge probabilities), node crash/restart churn at chosen rounds with a
+//! full state reset, and bounded per-edge delivery-latency jitter. Both
+//! engines apply the identical fault schedule — the differential harnesses
+//! extend to faulty runs unchanged — and fault losses are counted separately
+//! ([`Metrics::fault_drops`]) from sleeping-model losses. The empty plan
+//! ([`FaultPlan::none`], the default) leaves both engines on their original
+//! fault-free paths, bit for bit. See `docs/FAULT_MODEL.md` for the taxonomy
+//! and guarantees, and `EXPERIMENTS.md` (E14) for the measured degradation
+//! matrix of the algorithm registry.
+//!
 //! # Execution model and cost
 //!
 //! [`Engine::run`] is built around an *active set*: an explicit wake queue
@@ -103,6 +117,7 @@
 
 mod engine;
 mod error;
+pub mod fault;
 mod message;
 mod metrics;
 mod network;
@@ -112,6 +127,7 @@ pub mod workloads;
 
 pub use engine::{Engine, RunOutcome};
 pub use error::SimError;
+pub use fault::{CrashEvent, FaultPlan};
 pub use message::{Message, Words};
 pub use metrics::{EdgeUsageTrace, Metrics};
 pub use network::Network;
@@ -155,6 +171,10 @@ pub struct SimConfig {
     /// Record the per-edge, per-round usage trace needed by the random-delay
     /// scheduler (costs memory proportional to rounds × edges used).
     pub record_edge_trace: bool,
+    /// The fault-injection plan (message loss, node churn, delivery jitter).
+    /// Defaults to [`FaultPlan::none`], which keeps both engines on their
+    /// unmodified fault-free paths. See the [`fault`] module docs.
+    pub faults: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -166,6 +186,7 @@ impl Default for SimConfig {
             fast_forward_idle: true,
             strict_capacity: true,
             record_edge_trace: false,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -187,6 +208,12 @@ impl SimConfig {
     /// Sets the round limit.
     pub fn with_max_rounds(mut self, max_rounds: u64) -> Self {
         self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Sets the fault-injection plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 

@@ -29,13 +29,30 @@ pub struct Metrics {
     /// Number of sends that exceeded the per-round edge capacity or message
     /// size limit (only non-zero when `strict_capacity` is off).
     pub capacity_violations: u64,
-    /// Number of messages that were sent but never received because the
-    /// recipient was sleeping or had halted at delivery time (the defining
-    /// loss rule of the sleeping model). Protocols that rely on precise wake
-    /// schedules should see 0 here for wavefront traffic; a surprising
-    /// non-zero value is usually a protocol bug, which is why the engine
-    /// counts it instead of dropping messages silently.
+    /// Number of messages lost to the **sleeping model**: sent, but never
+    /// received because the recipient was sleeping or had halted at delivery
+    /// time (including sends still undeliverable when the run terminated).
+    /// This is a property of the protocol's wake schedule, *not* of fault
+    /// injection — messages dropped by a [`crate::FaultPlan`] are counted in
+    /// [`Metrics::fault_drops`] instead (deliveries onto a *crashed* node
+    /// count there too, since the crash is the fault layer's doing).
+    /// Protocols that rely on precise wake schedules should see 0 here for
+    /// wavefront traffic; a surprising non-zero value is usually a protocol
+    /// bug, which is why the engine counts it instead of dropping messages
+    /// silently.
     pub messages_lost: u64,
+    /// Number of messages dropped by fault injection: in-transit drops rolled
+    /// by the [`crate::FaultPlan`] fate stream, plus deliveries addressed to
+    /// a crashed node. Disjoint from [`Metrics::messages_lost`]; both are
+    /// subsets of [`Metrics::messages`]. Always 0 without a fault plan.
+    pub fault_drops: u64,
+    /// Number of messages delayed by fault-injected delivery jitter (each
+    /// delayed message is counted once, whatever its extra latency).
+    pub fault_delays: u64,
+    /// Number of crash events applied by the fault plan.
+    pub crashes: u64,
+    /// Number of restart events applied by the fault plan.
+    pub restarts: u64,
 }
 
 impl Metrics {
@@ -48,6 +65,10 @@ impl Metrics {
             node_energy: vec![0; n],
             capacity_violations: 0,
             messages_lost: 0,
+            fault_drops: 0,
+            fault_delays: 0,
+            crashes: 0,
+            restarts: 0,
         }
     }
 
@@ -92,6 +113,10 @@ impl Metrics {
         self.messages += other.messages;
         self.capacity_violations += other.capacity_violations;
         self.messages_lost += other.messages_lost;
+        self.fault_drops += other.fault_drops;
+        self.fault_delays += other.fault_delays;
+        self.crashes += other.crashes;
+        self.restarts += other.restarts;
         for (a, b) in self.edge_congestion.iter_mut().zip(&other.edge_congestion) {
             *a += b;
         }
@@ -115,6 +140,10 @@ impl Metrics {
         self.messages += other.messages;
         self.capacity_violations += other.capacity_violations;
         self.messages_lost += other.messages_lost;
+        self.fault_drops += other.fault_drops;
+        self.fault_delays += other.fault_delays;
+        self.crashes += other.crashes;
+        self.restarts += other.restarts;
         for (a, b) in self.edge_congestion.iter_mut().zip(&other.edge_congestion) {
             *a += b;
         }
@@ -138,6 +167,10 @@ impl Metrics {
         out.messages = self.messages;
         out.capacity_violations = self.capacity_violations;
         out.messages_lost = self.messages_lost;
+        out.fault_drops = self.fault_drops;
+        out.fault_delays = self.fault_delays;
+        out.crashes = self.crashes;
+        out.restarts = self.restarts;
         for (i, &orig) in node_map.iter().enumerate() {
             out.node_energy[orig.index()] += self.node_energy[i];
         }
@@ -230,14 +263,23 @@ mod tests {
     fn sequential_merge_adds_rounds() {
         let mut a = sample(2, 3, 5);
         a.messages_lost = 1;
+        a.fault_drops = 4;
+        a.crashes = 1;
         let mut b = sample(2, 3, 7);
         b.messages_lost = 2;
+        b.fault_drops = 5;
+        b.fault_delays = 6;
+        b.restarts = 2;
         a.merge_sequential(&b);
         assert_eq!(a.rounds, 12);
         assert_eq!(a.messages, 20);
         assert_eq!(a.max_congestion(), 4);
         assert_eq!(a.max_energy(), 6);
         assert_eq!(a.messages_lost, 3);
+        assert_eq!(a.fault_drops, 9);
+        assert_eq!(a.fault_delays, 6);
+        assert_eq!(a.crashes, 1);
+        assert_eq!(a.restarts, 2);
     }
 
     #[test]

@@ -26,6 +26,14 @@
 //! * [`HubPingPong`] — a hub exchanges one message with every spoke every
 //!   round through targeted [`crate::NodeCtx::send`] calls, stressing the
 //!   per-call neighbour lookup on the highest-degree node a graph can have.
+//!
+//! A third family hardens the first two against the fault fabric
+//! ([`crate::FaultPlan`], see `docs/FAULT_MODEL.md`): [`ChaosWaveBfs`]
+//! widens the wave schedule into per-hop awake windows with rebroadcasts
+//! (exact under pure bounded jitter, loss-resilient under drops),
+//! [`ChaosPulseBfs`] re-announces every pulse instead of once, and
+//! [`ChaosFlood`] counts its deliveries so degradation is measurable. All
+//! three halt unconditionally on a schedule, so no fault plan can wedge them.
 
 use congest_graph::{Distance, Graph, NodeId};
 
@@ -263,10 +271,208 @@ impl Protocol for HubPingPong {
     }
 }
 
+/// Chaos-hardened [`WaveBfs`]: the wave schedule stretched to tolerate
+/// fault-injected delivery jitter of up to `skew` rounds.
+///
+/// Node `v` at hop distance `d(v)` is awake for the *window* of `skew + 1`
+/// rounds starting at `d(v) · (skew + 1)`, rebroadcasts its best known
+/// distance in every window round, and halts unconditionally at the window's
+/// end — so no fault plan can wedge it, and every hop gets `skew + 1`
+/// independent delivery attempts (loss resilience).
+///
+/// Under *pure* jitter bounded by `skew` (no drops) the output is exact: by
+/// induction, a node's **last** window-round broadcast (round
+/// `d·(skew+1) + skew`) carries its true distance, and its arrival — delayed
+/// by at most `skew` — lands within `[(d+1)(skew+1), (d+1)(skew+1) + skew]`,
+/// the awake window of the next layer, which therefore knows *its* true
+/// distance by its own last window round. Earlier, luckier broadcasts may
+/// arrive before the receiver's window opens and be lost to the sleeping
+/// model (counted in `messages_lost`), but the final attempt cannot miss.
+/// With `skew = 0` this degenerates to [`WaveBfs`] (single-round windows).
+///
+/// Under drops a node that misses all attempts of the true wavefront keeps
+/// `Distance::Infinite` or settles on a same-layer overestimate — estimates
+/// never *under*shoot, which is what makes the E14 degradation measurable as
+/// a one-sided error.
+#[derive(Debug, Clone)]
+pub struct ChaosWaveBfs {
+    /// First round of this node's awake window (already scaled by
+    /// `skew + 1`), or `None` for unreachable nodes, which halt immediately.
+    wake: Option<u64>,
+    /// The jitter bound the schedule was stretched for.
+    skew: u64,
+    /// The distance this node computed (the protocol's output).
+    pub dist: Distance,
+}
+
+impl ChaosWaveBfs {
+    /// The stretched wake schedule for a BFS from `sources` on `g` under a
+    /// jitter bound of `skew`: `schedule[v] = Some(d(v) · (skew + 1))`, or
+    /// `None` if `v` is unreachable.
+    pub fn schedule(g: &Graph, sources: &[NodeId], skew: u64) -> Vec<Option<u64>> {
+        let truth = congest_graph::sequential::bfs(g, sources);
+        g.nodes().map(|v| truth.distance(v).finite().map(|d| d * (skew + 1))).collect()
+    }
+
+    /// A node with the given window start (an entry of
+    /// [`ChaosWaveBfs::schedule`]) and jitter bound.
+    pub fn new(wake: Option<u64>, skew: u64) -> ChaosWaveBfs {
+        ChaosWaveBfs { wake, skew, dist: Distance::Infinite }
+    }
+
+    /// Absorb arrivals, rebroadcast the best known distance, halt at the end
+    /// of the window.
+    fn pulse(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[Message]) {
+        for msg in inbox {
+            let cand = Distance::Finite(msg.word(0) + 1);
+            if cand < self.dist {
+                self.dist = cand;
+            }
+        }
+        if let Some(d) = self.dist.finite() {
+            ctx.broadcast(&[d]);
+        }
+        let window_end = self.wake.expect("only scheduled nodes pulse") + self.skew;
+        if ctx.round() >= window_end {
+            ctx.halt();
+        }
+        // Otherwise stay awake: the default wake-up is the next round.
+    }
+}
+
+impl Protocol for ChaosWaveBfs {
+    fn init(&mut self, ctx: &mut NodeCtx<'_>) {
+        match self.wake {
+            Some(0) => {
+                self.dist = Distance::ZERO;
+                self.pulse(ctx, &[]);
+            }
+            Some(w) => ctx.sleep_until(w),
+            None => ctx.halt(),
+        }
+    }
+
+    fn on_round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[Message]) {
+        self.pulse(ctx, inbox);
+    }
+}
+
+/// Chaos-hardened [`PulseBfs`]: re-announces every talk pulse (no
+/// announce-once latch), listens in *both* pulse rounds (a jittered arrival
+/// can land on a talk round), and halts unconditionally once the round limit
+/// passes — so message loss costs accuracy, never termination.
+///
+/// Repeated announcements give each hop one delivery attempt per period;
+/// under a drop rate `p` the chance a hop stays unserved decays
+/// geometrically with the periods remaining, which is the graceful-
+/// degradation profile E14 measures. Estimates only ever decrease toward the
+/// truth and candidates are always `sender's estimate + 1`, so partial
+/// information yields overestimates, never undershoots.
+#[derive(Debug, Clone)]
+pub struct ChaosPulseBfs {
+    period: u64,
+    /// The round after which nodes halt (derived from the hop bound).
+    limit: u64,
+    /// The hop distance this node computed (the protocol's output).
+    pub dist: Distance,
+}
+
+impl ChaosPulseBfs {
+    /// A node of a chaos-pulsed BFS with the given period (≥ 2) and hop
+    /// bound. The same `(hop_bound + 2) · period` halt schedule as
+    /// [`PulseBfs::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period < 2` (talk and listen rounds would collide).
+    pub fn new(is_source: bool, period: u64, hop_bound: u64) -> ChaosPulseBfs {
+        assert!(period >= 2, "pulse period must separate talk and listen rounds");
+        ChaosPulseBfs {
+            period,
+            limit: (hop_bound + 2).saturating_mul(period),
+            dist: if is_source { Distance::ZERO } else { Distance::Infinite },
+        }
+    }
+
+    fn absorb(&mut self, inbox: &[Message]) {
+        for msg in inbox {
+            let cand = Distance::Finite(msg.word(0) + 1);
+            if cand < self.dist {
+                self.dist = cand;
+            }
+        }
+    }
+}
+
+impl Protocol for ChaosPulseBfs {
+    fn init(&mut self, ctx: &mut NodeCtx<'_>) {
+        ctx.sleep_until(self.period);
+    }
+
+    fn on_round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[Message]) {
+        let r = ctx.round();
+        self.absorb(inbox);
+        if r % self.period == 0 {
+            // Talk round: re-announce the current best, every period — the
+            // redundancy that buys loss tolerance. Stay awake to listen.
+            if let Some(d) = self.dist.finite() {
+                ctx.broadcast(&[d]);
+            }
+        } else if r >= self.limit {
+            // Unconditional halt: the safety net against wedging.
+            ctx.halt();
+        } else {
+            ctx.sleep_until((r / self.period + 1) * self.period);
+        }
+    }
+}
+
+/// Chaos-instrumented [`Flood`]: the same always-awake full-bandwidth
+/// workload, plus a per-node count of *received* messages, so a faulty run's
+/// delivery ratio is measurable directly
+/// (`Σ received = messages − messages_lost − fault_drops`).
+#[derive(Debug, Clone)]
+pub struct ChaosFlood {
+    until: u64,
+    /// Running fold of everything received (the protocol's output).
+    pub acc: u64,
+    /// Number of messages this node received.
+    pub received: u64,
+}
+
+impl ChaosFlood {
+    /// A node of a flood that halts after round `until` (≥ 1).
+    pub fn new(id: NodeId, until: u64) -> ChaosFlood {
+        ChaosFlood {
+            until,
+            acc: 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(id.0 as u64 + 1),
+            received: 0,
+        }
+    }
+}
+
+impl Protocol for ChaosFlood {
+    fn init(&mut self, ctx: &mut NodeCtx<'_>) {
+        ctx.broadcast(&[self.acc]);
+    }
+
+    fn on_round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[Message]) {
+        self.received += inbox.len() as u64;
+        for msg in inbox {
+            self.acc = self.acc.rotate_left(7) ^ msg.word(0);
+        }
+        if ctx.round() >= self.until {
+            ctx.halt();
+        } else {
+            ctx.broadcast(&[self.acc]);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Engine, SimConfig};
+    use crate::{Engine, FaultPlan, SimConfig};
     use congest_graph::{generators, sequential};
 
     #[test]
@@ -403,5 +609,90 @@ mod tests {
         let fa: Vec<u64> = fast.states.iter().map(|s| s.acc).collect();
         let sa: Vec<u64> = slow.states.iter().map(|s| s.acc).collect();
         assert_eq!(fa, sa, "ping-pong folds must be bit-identical");
+    }
+
+    #[test]
+    fn chaos_wave_bfs_with_zero_skew_matches_plain_wave_bfs() {
+        let g = generators::grid(6, 5, 1);
+        let sched = ChaosWaveBfs::schedule(&g, &[NodeId(0)], 0);
+        assert_eq!(sched, WaveBfs::schedule(&g, &[NodeId(0)]));
+        let run = Engine::new(&g, SimConfig::default())
+            .run(|id| ChaosWaveBfs::new(sched[id.index()], 0))
+            .unwrap();
+        let truth = sequential::bfs(&g, &[NodeId(0)]);
+        for v in g.nodes() {
+            assert_eq!(run.states[v.index()].dist, truth.distance(v), "node {v}");
+        }
+        assert!(run.metrics.max_energy() <= 2, "zero-skew windows are single rounds");
+    }
+
+    #[test]
+    fn chaos_wave_bfs_is_exact_under_pure_bounded_jitter() {
+        // The headline guarantee: jitter alone (no drops) cannot corrupt the
+        // output, on either engine, because the last rebroadcast of each
+        // window always lands inside the next layer's window.
+        let g = generators::random_connected(48, 70, 29);
+        let truth = sequential::bfs(&g, &[NodeId(0)]);
+        for skew in [1u64, 3] {
+            let sched = ChaosWaveBfs::schedule(&g, &[NodeId(0)], skew);
+            let cfg = SimConfig::default()
+                .with_faults(FaultPlan::none().with_seed(99).with_max_skew(skew));
+            let fast = Engine::new(&g, cfg.clone())
+                .run(|id| ChaosWaveBfs::new(sched[id.index()], skew))
+                .unwrap();
+            let slow = Engine::new(&g, cfg)
+                .run_reference(|id| ChaosWaveBfs::new(sched[id.index()], skew))
+                .unwrap();
+            assert_eq!(fast.metrics, slow.metrics, "skew {skew}");
+            for v in g.nodes() {
+                assert_eq!(fast.states[v.index()].dist, truth.distance(v), "node {v} skew {skew}");
+                assert_eq!(slow.states[v.index()].dist, truth.distance(v), "node {v} skew {skew}");
+            }
+            assert!(fast.metrics.fault_delays > 0, "skew {skew} must actually jitter");
+            // Each node is awake for init plus at most its skew+1 window.
+            assert!(fast.metrics.max_energy() <= skew + 2);
+        }
+    }
+
+    #[test]
+    fn chaos_pulse_bfs_matches_pulse_bfs_without_faults_and_never_wedges_with() {
+        let g = generators::grid(5, 5, 1);
+        let n = g.node_count() as u64;
+        let run = Engine::new(&g, SimConfig::default())
+            .run(|id| ChaosPulseBfs::new(id == NodeId(0), 6, n))
+            .unwrap();
+        let truth = sequential::bfs(&g, &[NodeId(0)]);
+        for v in g.nodes() {
+            assert_eq!(run.states[v.index()].dist, truth.distance(v), "node {v}");
+        }
+        // Under heavy loss the distances may degrade, but the unconditional
+        // halt schedule still terminates the run well inside the limit.
+        let cfg = SimConfig::default()
+            .with_faults(FaultPlan::none().with_seed(3).with_drop_ppm(400_000).with_max_skew(2));
+        let lossy =
+            Engine::new(&g, cfg).run(|id| ChaosPulseBfs::new(id == NodeId(0), 6, n)).unwrap();
+        assert!(lossy.metrics.rounds <= (n + 2) * 6 + 2);
+        assert!(lossy.metrics.fault_drops > 0);
+        for v in g.nodes() {
+            // One-sided degradation: estimates never undershoot the truth.
+            if let Some(est) = lossy.states[v.index()].dist.finite() {
+                assert!(est >= truth.distance(v).expect_finite(), "node {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_flood_counts_deliveries_exactly() {
+        let g = generators::random_connected(20, 30, 5);
+        let cfg = SimConfig::default()
+            .with_faults(FaultPlan::none().with_seed(12).with_drop_ppm(150_000).with_max_skew(1));
+        let run = Engine::new(&g, cfg).run(|id| ChaosFlood::new(id, 12)).unwrap();
+        let received: u64 = run.states.iter().map(|s| s.received).sum();
+        assert_eq!(
+            received,
+            run.metrics.messages - run.metrics.messages_lost - run.metrics.fault_drops,
+            "every sent message is delivered, slept away, or fault-dropped"
+        );
+        assert!(run.metrics.fault_drops > 0);
     }
 }

@@ -1,0 +1,187 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements exactly the surface the workspace's `benches/` use — benchmark
+//! groups, [`BenchmarkId`], `bench_with_input`, [`Bencher::iter`], and the
+//! `criterion_group!` / `criterion_main!` macros — with the same call
+//! signatures as criterion 0.5, so the bench sources compile unchanged
+//! against either this or the real crate.
+//!
+//! Divergence from the real crate (see `vendor/README.md`): each sample is a
+//! single timed iteration and the report prints min/median/mean only — no
+//! statistical analysis, outlier rejection, HTML reports, or baselines.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// An identity function that hides a value from the optimizer, so benchmark
+/// bodies are not dead-code-eliminated.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver: hands out benchmark groups.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _parent: self }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples taken per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark over a borrowed input and prints its timing line.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+            routine(&mut b, input);
+            if b.iters > 0 {
+                samples.push(b.elapsed / b.iters.min(u32::MAX as u64) as u32);
+            }
+        }
+        samples.sort();
+        if samples.is_empty() {
+            println!("{}/{}: no samples", self.name, id);
+            return self;
+        }
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        println!(
+            "{}/{}: min {:?}  median {:?}  mean {:?}  ({} samples)",
+            self.name,
+            id,
+            min,
+            median,
+            mean,
+            samples.len()
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group: a function name plus a parameter.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayed parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { function: function.into(), parameter: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// The timing handle passed to each benchmark routine.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times one execution of `routine` (the real crate runs many iterations
+    /// per sample; the stand-in's sample is a single iteration).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+        drop(black_box(out));
+    }
+}
+
+/// Collects benchmark functions into a named group runner, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates the `main` entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_routine_and_respects_sample_size() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("test");
+        let mut calls = 0u32;
+        group.sample_size(5).bench_with_input(BenchmarkId::new("f", 1), &3u32, |b, &x| {
+            calls += 1;
+            b.iter(|| x * 2);
+        });
+        group.finish();
+        assert_eq!(calls, 5);
+    }
+
+    #[test]
+    fn benchmark_id_displays_function_and_parameter() {
+        assert_eq!(BenchmarkId::new("active_set", 1024).to_string(), "active_set/1024");
+    }
+
+    #[test]
+    fn group_macro_expands() {
+        fn routine(c: &mut Criterion) {
+            let mut g = c.benchmark_group("m");
+            g.sample_size(1).bench_with_input(BenchmarkId::new("x", 0), &(), |b, ()| b.iter(|| 1));
+            g.finish();
+        }
+        criterion_group!(benches, routine);
+        benches();
+    }
+}
