@@ -1,0 +1,35 @@
+//! E15: shard scaling — the sharded engine vs the sequential path on the
+//! wave-BFS workload, graded by worker-thread count.
+//!
+//! The construction (graph, wake schedule, neighbour index) is hoisted out of
+//! the timed region, matching the `experiments -- shard-json` methodology:
+//! what is timed is one full engine run — delivery, stepping, and the
+//! deterministic shard merge. On a single-core host the 2- and 4-thread
+//! groups measure the coordination overhead the CI no-regression bar bounds;
+//! on a multi-core host they measure the speedup the `>= 2x` bar demands.
+
+use congest_graph::{generators, NodeId};
+use congest_sim::workloads::WaveBfs;
+use congest_sim::{Engine, SimConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_shard_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e15_wave_bfs");
+    group.sample_size(10);
+    for n in [20_000u32, 100_000] {
+        let g = generators::random_connected(n, 2 * n as u64, 47);
+        let sched = WaveBfs::schedule(&g, &[NodeId(0)]);
+        for threads in [1usize, 2, 4] {
+            let engine = Engine::new(&g, SimConfig::default().with_threads(threads));
+            group.bench_with_input(
+                BenchmarkId::new(format!("threads_{threads}"), n),
+                &engine,
+                |b, e| b.iter(|| e.run(|id| WaveBfs::new(sched[id.index()])).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard_scaling);
+criterion_main!(benches);

@@ -17,7 +17,17 @@
 //! #   runs only E13 (message throughput) and writes BENCH_messages.json
 //! cargo run --release -p congest-bench --bin experiments -- chaos-json
 //! #   runs only E14 (chaos degradation matrix) and writes BENCH_chaos.json
+//! cargo run --release -p congest-bench --bin experiments -- shard-json
+//! #   runs only E15 (shard scaling, wave-BFS at n = 10^6) and writes
+//! #   BENCH_shard.json
 //! ```
+//!
+//! `--threads N` sets the simulator worker-thread count (0 = the host's
+//! available parallelism) for every experiment by exporting `SIM_THREADS`,
+//! which every [`congest_sim::SimConfig`] honors. The `shard-json` gate is
+//! the one exception: it sweeps thread counts explicitly (an inherited
+//! override would collapse the sweep, so it is removed with a warning), and
+//! `--threads N` instead adds `N` to the swept set.
 //!
 //! All rows render through the generic `congest_bench::table` formatter, so
 //! this binary contains no per-algorithm result plumbing — experiments are
@@ -28,9 +38,9 @@
 use congest_bench::table::{render, TableRow};
 use congest_bench::{
     bench_out_path, e10_recursion, e11_engine_throughput, e12_apsp_throughput,
-    e12_apsp_throughput_at, e13_message_throughput, e14_chaos_matrix, e1_e3_sssp_comparison,
-    e4_cutter, e5_energy_bfs, e6_energy_cssp, e7_apsp, e8_cover_quality, e9_spanning_forest,
-    json::array, Scale,
+    e12_apsp_throughput_at, e13_message_throughput, e14_chaos_matrix, e15_shard_scaling_at,
+    e1_e3_sssp_comparison, e4_cutter, e5_energy_bfs, e6_energy_cssp, e7_apsp, e8_cover_quality,
+    e9_spanning_forest, json::array, Scale,
 };
 use congest_sssp::registry;
 
@@ -47,16 +57,116 @@ fn write_artifact(file_name: &str, body: String) {
     eprintln!("wrote {}", path.display());
 }
 
+/// Parses `--threads N` out of the argument list, if present.
+fn threads_flag(args: &[String]) -> Option<usize> {
+    let i = args.iter().position(|a| a == "--threads")?;
+    let value = args.get(i + 1).unwrap_or_else(|| panic!("--threads requires a value"));
+    Some(value.parse().unwrap_or_else(|e| panic!("--threads {value}: {e}")))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = if args.iter().any(|a| a == "full") { Scale::Full } else { Scale::Quick };
     let json = args.iter().any(|a| a == "json");
+    let threads = threads_flag(&args);
+    let shard_gate = args.iter().any(|a| a == "shard-json");
+    if let Some(n) = threads.filter(|_| !shard_gate) {
+        // One env var reaches every SimConfig in every crate, so no
+        // experiment needs thread plumbing of its own.
+        std::env::set_var("SIM_THREADS", n.to_string());
+    }
 
     if args.iter().any(|a| a == "list-algorithms") {
         // Registry smoke: every algorithm the Solver facade can run, with
         // its capability flags (used by CI and by sweep tooling).
         println!("# Algorithm registry ({} algorithms)\n", registry().len());
         print!("{}", render(registry()));
+        // The effective engine configuration these algorithms would run
+        // under, env overrides included — so a CI log records the actual
+        // model parameters next to the registry.
+        let sim = congest_sim::SimConfig::default();
+        println!("\n# Effective engine configuration\n");
+        println!(
+            "- threads: {} (configured {}, SIM_THREADS {})",
+            sim.resolved_threads(),
+            sim.threads,
+            std::env::var("SIM_THREADS").unwrap_or_else(|_| "unset".into()),
+        );
+        println!(
+            "- max_message_words: {} (effective {})",
+            sim.max_message_words,
+            sim.effective_max_words()
+        );
+        println!("- edge_capacity: {}", sim.edge_capacity);
+        println!("- max_rounds: {}", sim.max_rounds);
+        println!("- fast_forward_idle: {}", sim.fast_forward_idle);
+        println!("- strict_capacity: {}", sim.strict_capacity);
+        return;
+    }
+
+    if shard_gate {
+        // CI mode: only the shard-scaling experiment, plus its artifact. The
+        // sweep sets each run's thread count explicitly, so an inherited
+        // SIM_THREADS override would silently collapse every run onto one
+        // effective count — remove it loudly instead.
+        if std::env::var_os("SIM_THREADS").is_some() {
+            eprintln!("warning: ignoring SIM_THREADS for the shard gate's explicit sweep");
+            std::env::remove_var("SIM_THREADS");
+        }
+        let mut counts = vec![1usize, 2, 4];
+        if let Some(n) = threads.filter(|&n| n > 0 && !counts.contains(&n)) {
+            counts.push(n);
+        }
+        let (n, extra, iters) = match scale {
+            // The EXPERIMENTS.md size: wave-BFS at n = 10^6.
+            Scale::Full | Scale::Quick => (1_000_000u32, 2_000_000u64, 2),
+        };
+        println!("# Experiment tables (shard gate, wave-BFS n = {n})");
+        let e15 = e15_shard_scaling_at(n, extra, &counts, iters);
+        print_section("E15: shard scaling (sharded engine vs the sequential path)", &e15);
+        // The artifact is written before the assertions so a regression
+        // still leaves the measurements behind for inspection.
+        write_artifact(
+            "BENCH_shard.json",
+            format!(
+                "{{\"experiment\": \"e15_shard_scaling\", \"scale\": \"Full\", \"rows\": {}}}",
+                array(&e15)
+            ),
+        );
+        // Bar 1 — bit-identity at every shard count: sharding is an
+        // execution strategy, not a semantic knob.
+        assert!(
+            e15.iter().all(|r| r.matches_one_thread),
+            "shard regression: a thread count diverged from the 1-thread run; see the table above"
+        );
+        // Bar 2 — graded wall-clock bar on the widest sharded run, judged
+        // against the cores actually available: >= 2x on >= 4 cores (the CI
+        // runner), a modest win on 2-3 cores. On a single core the workers
+        // can only time-slice, so there is no speedup to demand — the bars
+        // that remain are completion and bit-identity above (the 1-thread
+        // row itself runs the unchanged sequential engine, whose throughput
+        // the E11/E13 gates police).
+        let widest = e15.iter().max_by_key(|r| r.threads).expect("sweep is non-empty");
+        let cores = widest.host_cores;
+        let bar = match cores {
+            0 | 1 => 0.0,
+            2 | 3 => 1.2,
+            _ => 2.0,
+        };
+        if bar > 0.0 {
+            assert!(
+                widest.speedup_vs_one_thread >= bar,
+                "shard scaling regression: {} threads on {cores} cores sped up {:.2}x < {:.1}x",
+                widest.threads,
+                widest.speedup_vs_one_thread,
+                bar
+            );
+        } else {
+            eprintln!(
+                "single-core host: speedup bar skipped ({} threads measured {:.2}x)",
+                widest.threads, widest.speedup_vs_one_thread
+            );
+        }
         return;
     }
 

@@ -11,7 +11,7 @@ use congest_sssp::{
 
 use crate::{
     ApspRow, ApspThroughputRow, ChaosRow, CoverRow, CutterRow, EnergyRow, ForestRow, RecursionRow,
-    SsspRow, ThroughputRow,
+    ShardScalingRow, SsspRow, ThroughputRow,
 };
 
 /// Types that can render themselves as a JSON value.
@@ -139,6 +139,10 @@ impl_row_json! {
     ApspThroughputRow {
         n, m, driver, threads, wall_ms, makespan, model_rounds, sequential_rounds,
         total_messages, speedup_vs_reference, results_match,
+    }
+    ShardScalingRow {
+        workload, n, m, threads, host_cores, rounds, messages, max_energy, wall_ms,
+        node_rounds_per_sec, speedup_vs_one_thread, matches_one_thread,
     }
     ChaosRow {
         algorithm, loss_ppm, outcome, graceful, deterministic, matches_baseline, rounds,

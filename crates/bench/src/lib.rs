@@ -974,6 +974,117 @@ pub fn e14_chaos_matrix(scale: Scale) -> Vec<ChaosRow> {
     rows
 }
 
+// ---------------------------------------------------------------------------
+// E15: shard scaling (multi-threaded engine vs the sequential path)
+// ---------------------------------------------------------------------------
+
+/// One measurement row of the shard-scaling experiment (E15): wave-BFS on one
+/// large random graph at one worker-thread count.
+///
+/// The first row of a sweep is the 1-thread baseline; every other row must
+/// reproduce its metrics and distance vector bit for bit
+/// ([`ShardScalingRow::matches_one_thread`]) — sharding is an execution
+/// strategy, not a semantic knob.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardScalingRow {
+    /// Workload label.
+    pub workload: String,
+    /// Number of nodes.
+    pub n: u32,
+    /// Number of edges.
+    pub m: u32,
+    /// Worker-thread count of this run (1 = the sequential engine).
+    pub threads: usize,
+    /// The host's available parallelism when the sweep ran — the context the
+    /// graded CI speedup bar is judged in.
+    pub host_cores: usize,
+    /// Rounds of the simulated execution.
+    pub rounds: u64,
+    /// Total messages sent.
+    pub messages: u64,
+    /// Maximum per-node energy.
+    pub max_energy: u64,
+    /// Wall-clock milliseconds of the fastest measured run.
+    pub wall_ms: f64,
+    /// Simulated node-round slots advanced per wall-clock second.
+    pub node_rounds_per_sec: f64,
+    /// Wall-clock speedup over the 1-thread baseline (1.0 for the baseline).
+    pub speedup_vs_one_thread: f64,
+    /// Whether this run's metrics *and* per-node distances are bit-identical
+    /// to the 1-thread baseline — must always be `true`.
+    pub matches_one_thread: bool,
+}
+
+/// Measures shard scaling (E15) at the scale's standard sizes: `Quick` keeps
+/// the graph small for unit tests; `Full` is the `EXPERIMENTS.md` size,
+/// wave-BFS at `n = 10^6`.
+pub fn e15_shard_scaling(scale: Scale) -> Vec<ShardScalingRow> {
+    match scale {
+        Scale::Quick => e15_shard_scaling_at(20_000, 40_000, &[1, 2, 4], 1),
+        Scale::Full => e15_shard_scaling_at(1_000_000, 2_000_000, &[1, 2, 4], 2),
+    }
+}
+
+/// Measures shard scaling (E15) at explicit sizes: wave-BFS under a perfect
+/// wake schedule on `random_connected(n, extra, 47)`, once per entry of
+/// `thread_counts` (the first entry is the baseline and should be `1`).
+/// Every run's metrics and distance vector are compared against the
+/// baseline's. Used by the `experiments -- shard-json` CI gate.
+///
+/// Callers sweeping thread counts must make sure `SIM_THREADS` is unset — it
+/// would override every [`congest_sim::SimConfig::threads`] value and
+/// collapse the sweep onto a single effective count.
+pub fn e15_shard_scaling_at(
+    n: u32,
+    extra: u64,
+    thread_counts: &[usize],
+    iters: u32,
+) -> Vec<ShardScalingRow> {
+    use congest_sim::workloads::WaveBfs;
+    let host_cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let g = generators::random_connected(n, extra, 47);
+    let sched = WaveBfs::schedule(&g, &[NodeId(0)]);
+    let mut rows = Vec::new();
+    let mut baseline: Option<(congest_sim::Metrics, Vec<congest_graph::Distance>, f64)> = None;
+    for &threads in thread_counts {
+        let cfg = congest_sim::SimConfig::default().with_threads(threads);
+        let engine = congest_sim::Engine::new(&g, cfg);
+        let mut best = f64::INFINITY;
+        let mut last = None;
+        for _ in 0..iters.max(1) {
+            let start = std::time::Instant::now();
+            let run = engine.run(|id| WaveBfs::new(sched[id.index()])).expect("wave BFS runs");
+            best = best.min(start.elapsed().as_secs_f64() * 1e3);
+            last = Some(run);
+        }
+        let run = last.expect("at least one iteration");
+        let dists: Vec<_> = run.states.iter().map(|s| s.dist).collect();
+        let (matches_one_thread, speedup) = match &baseline {
+            None => (true, 1.0),
+            Some((bm, bd, bms)) => (*bm == run.metrics && *bd == dists, bms / best.max(1e-9)),
+        };
+        rows.push(ShardScalingRow {
+            workload: "wave-bfs-random".into(),
+            n: g.node_count(),
+            m: g.edge_count(),
+            threads,
+            host_cores,
+            rounds: run.metrics.rounds,
+            messages: run.metrics.messages,
+            max_energy: run.metrics.max_energy(),
+            wall_ms: best,
+            node_rounds_per_sec: g.node_count() as f64 * run.metrics.rounds as f64
+                / (best / 1e3).max(1e-9),
+            speedup_vs_one_thread: speedup,
+            matches_one_thread,
+        });
+        if baseline.is_none() {
+            baseline = Some((run.metrics, dists, best));
+        }
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1140,6 +1251,27 @@ mod tests {
             assert_eq!(r.max_energy, r.rounds, "E13 workloads never sleep");
             assert!(r.messages > r.rounds, "E13 workloads move many messages");
         }
+    }
+
+    #[test]
+    fn e15_thread_counts_agree_on_wave_bfs() {
+        // Functional checks only: the wall-clock bars (bit-identity plus the
+        // core-count-graded speedup) are asserted by the release-mode
+        // `experiments -- shard-json` CI gate; this debug-mode test pins the
+        // identity contract at a reduced size.
+        std::env::remove_var("SIM_THREADS");
+        let rows = e15_shard_scaling_at(2_000, 4_000, &[1, 2, 4], 1);
+        assert_eq!(rows.len(), 3, "one workload at three thread counts");
+        assert!(
+            rows.iter().all(|r| r.matches_one_thread),
+            "every thread count must reproduce the 1-thread run bit for bit"
+        );
+        assert!(rows.iter().all(|r| r.wall_ms > 0.0 && r.host_cores >= 1));
+        let [one, two, four] = &rows[..] else { unreachable!() };
+        assert_eq!((one.threads, two.threads, four.threads), (1, 2, 4));
+        assert_eq!(one.speedup_vs_one_thread, 1.0);
+        assert_eq!(one.rounds, four.rounds);
+        assert!(one.max_energy <= 2, "wave-BFS stays low-energy");
     }
 
     #[test]

@@ -13,7 +13,7 @@ use congest_sssp::{AlgorithmInfo, RunReport, SleepingReport};
 
 use crate::{
     ApspRow, ApspThroughputRow, ChaosRow, CoverRow, CutterRow, EnergyRow, ForestRow, RecursionRow,
-    SsspRow, ThroughputRow,
+    ShardScalingRow, SsspRow, ThroughputRow,
 };
 
 /// One table column: header text plus whether its cells are right-aligned
@@ -347,6 +347,42 @@ impl TableRow for ApspThroughputRow {
             self.total_messages.to_string(),
             format!("{:.2}x", self.speedup_vs_reference),
             self.results_match.to_string(),
+        ]
+    }
+}
+
+impl TableRow for ShardScalingRow {
+    fn columns() -> Vec<Column> {
+        vec![
+            text("workload"),
+            num("n"),
+            num("m"),
+            num("threads"),
+            num("host cores"),
+            num("rounds"),
+            num("messages"),
+            num("max energy"),
+            num("wall ms"),
+            num("node-rounds/s"),
+            num("speedup"),
+            num("matches 1t"),
+        ]
+    }
+
+    fn cells(&self) -> Vec<String> {
+        vec![
+            self.workload.clone(),
+            self.n.to_string(),
+            self.m.to_string(),
+            self.threads.to_string(),
+            self.host_cores.to_string(),
+            self.rounds.to_string(),
+            self.messages.to_string(),
+            self.max_energy.to_string(),
+            format!("{:.2}", self.wall_ms),
+            format!("{:.3e}", self.node_rounds_per_sec),
+            format!("{:.2}x", self.speedup_vs_one_thread),
+            self.matches_one_thread.to_string(),
         ]
     }
 }

@@ -80,6 +80,16 @@ impl AlgoConfig {
         self
     }
 
+    /// Sets the worker-thread count on the underlying simulator (see
+    /// [`congest_sim::SimConfig::threads`]): `1` is the sequential engine,
+    /// `0` resolves to the host's available parallelism, `k > 1` shards the
+    /// nodes across `k` workers. Results are bit-identical at every thread
+    /// count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.sim.threads = threads;
+        self
+    }
+
     /// Sets the cutter approximation parameter to `1 / inverse`.
     ///
     /// # Panics
@@ -120,6 +130,13 @@ mod tests {
     #[should_panic(expected = "must be positive")]
     fn zero_epsilon_inverse_rejected() {
         let _ = AlgoConfig::default().with_epsilon_inverse(0);
+    }
+
+    #[test]
+    fn with_threads_plumbs_to_the_simulator() {
+        let c = AlgoConfig::default();
+        assert_eq!(c.sim.threads, 1, "default stays sequential");
+        assert_eq!(c.with_threads(4).sim.threads, 4);
     }
 
     #[test]

@@ -96,6 +96,15 @@ pub struct Adjacency {
 /// self-loops are rejected. The maximum supported weight is
 /// [`Graph::MAX_WEIGHT`], mirroring the paper's `poly(n)` weight assumption.
 ///
+/// Adjacency is stored in CSR (compressed sparse row) form: one flat
+/// [`Adjacency`] array holding every node's entries back to back, plus an
+/// `n + 1` offset table. [`Graph::neighbors`] is a slice of the flat array,
+/// so iterating a whole node range walks memory linearly — the layout the
+/// simulator's sharded engine sweeps — instead of chasing `n` separate heap
+/// vectors. Within a node, entries keep edge-insertion order (the order
+/// `Vec<Vec<_>>` adjacency used to expose), which broadcast order and the
+/// send-path tie rules depend on.
+///
 /// ```
 /// use congest_graph::{Graph, NodeId};
 ///
@@ -114,7 +123,12 @@ pub struct Adjacency {
 pub struct Graph {
     node_count: u32,
     edges: Vec<Edge>,
-    adjacency: Vec<Vec<Adjacency>>,
+    /// CSR offsets: node `v`'s adjacency entries live at
+    /// `adjacency[adj_offsets[v] .. adj_offsets[v + 1]]`. Length `n + 1`.
+    adj_offsets: Vec<u32>,
+    /// All adjacency entries (`2m` of them), grouped by node, each node's
+    /// run in edge-insertion order.
+    adjacency: Vec<Adjacency>,
     max_weight: Weight,
 }
 
@@ -128,14 +142,20 @@ impl Graph {
         Graph {
             node_count: n,
             edges: Vec::new(),
-            adjacency: vec![Vec::new(); n as usize],
+            adj_offsets: vec![0; n as usize + 1],
+            adjacency: Vec::new(),
             max_weight: 0,
         }
     }
 
     /// Starts building a graph with `n` nodes.
     pub fn builder(n: u32) -> GraphBuilder {
-        GraphBuilder { graph: Graph::empty(n) }
+        GraphBuilder {
+            node_count: n,
+            edges: Vec::new(),
+            adjacency: vec![Vec::new(); n as usize],
+            max_weight: 0,
+        }
     }
 
     /// Builds a graph on `n` nodes from `(u, v, w)` edge triples.
@@ -189,18 +209,21 @@ impl Graph {
         self.edges[e.index()]
     }
 
-    /// The adjacency list of `v`.
+    /// The adjacency list of `v`: a slice of the flat CSR adjacency array, in
+    /// edge-insertion order.
     ///
     /// # Panics
     ///
     /// Panics if `v` is out of range.
     pub fn neighbors(&self, v: NodeId) -> &[Adjacency] {
-        &self.adjacency[v.index()]
+        let lo = self.adj_offsets[v.index()] as usize;
+        let hi = self.adj_offsets[v.index() + 1] as usize;
+        &self.adjacency[lo..hi]
     }
 
     /// The degree (number of incident edges) of `v`.
     pub fn degree(&self, v: NodeId) -> usize {
-        self.adjacency[v.index()].len()
+        (self.adj_offsets[v.index() + 1] - self.adj_offsets[v.index()]) as usize
     }
 
     /// The largest edge weight, or 0 for an edgeless graph.
@@ -215,12 +238,12 @@ impl Graph {
 
     /// Returns `true` if some edge directly connects `u` and `v`.
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
-        self.adjacency[u.index()].iter().any(|a| a.neighbor == v)
+        self.neighbors(u).iter().any(|a| a.neighbor == v)
     }
 
     /// The minimum weight among edges directly connecting `u` and `v`, if any.
     pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<Weight> {
-        self.adjacency[u.index()].iter().filter(|a| a.neighbor == v).map(|a| a.weight).min()
+        self.neighbors(u).iter().filter(|a| a.neighbor == v).map(|a| a.weight).min()
     }
 
     /// An upper bound `n * max_weight` on any finite shortest-path distance,
@@ -264,9 +287,16 @@ impl Graph {
 }
 
 /// Incremental builder for [`Graph`] (see [`Graph::builder`]).
+///
+/// The builder keeps per-node `Vec`s so edge insertion stays `O(1)`;
+/// [`GraphBuilder::build`] flattens them into the graph's CSR layout in one
+/// `O(n + m)` pass, preserving each node's edge-insertion order.
 #[derive(Debug, Clone)]
 pub struct GraphBuilder {
-    graph: Graph,
+    node_count: u32,
+    edges: Vec<Edge>,
+    adjacency: Vec<Vec<Adjacency>>,
+    max_weight: Weight,
 }
 
 impl GraphBuilder {
@@ -277,7 +307,7 @@ impl GraphBuilder {
     /// Returns an error if an endpoint is out of range, `u == v`, or the
     /// weight exceeds [`Graph::MAX_WEIGHT`].
     pub fn add_edge(&mut self, u: u32, v: u32, w: Weight) -> Result<EdgeId, GraphError> {
-        let n = self.graph.node_count;
+        let n = self.node_count;
         if u >= n {
             return Err(GraphError::NodeOutOfRange { node: u, node_count: n });
         }
@@ -290,18 +320,32 @@ impl GraphBuilder {
         if w > Graph::MAX_WEIGHT {
             return Err(GraphError::WeightOutOfRange { weight: w, max: Graph::MAX_WEIGHT });
         }
-        let id = EdgeId(self.graph.edges.len() as u32);
+        let id = EdgeId(self.edges.len() as u32);
         let (u, v) = (NodeId(u), NodeId(v));
-        self.graph.edges.push(Edge { u, v, w });
-        self.graph.adjacency[u.index()].push(Adjacency { neighbor: v, edge: id, weight: w });
-        self.graph.adjacency[v.index()].push(Adjacency { neighbor: u, edge: id, weight: w });
-        self.graph.max_weight = self.graph.max_weight.max(w);
+        self.edges.push(Edge { u, v, w });
+        self.adjacency[u.index()].push(Adjacency { neighbor: v, edge: id, weight: w });
+        self.adjacency[v.index()].push(Adjacency { neighbor: u, edge: id, weight: w });
+        self.max_weight = self.max_weight.max(w);
         Ok(id)
     }
 
-    /// Finishes building and returns the graph.
+    /// Finishes building and returns the graph, flattening the per-node
+    /// adjacency lists into the CSR layout.
     pub fn build(self) -> Graph {
-        self.graph
+        let mut adj_offsets = Vec::with_capacity(self.node_count as usize + 1);
+        let mut adjacency = Vec::with_capacity(2 * self.edges.len());
+        adj_offsets.push(0);
+        for row in &self.adjacency {
+            adjacency.extend_from_slice(row);
+            adj_offsets.push(adjacency.len() as u32);
+        }
+        Graph {
+            node_count: self.node_count,
+            edges: self.edges,
+            adj_offsets,
+            adjacency,
+            max_weight: self.max_weight,
+        }
     }
 }
 
@@ -404,6 +448,22 @@ mod tests {
         assert_eq!(g.max_weight(), 0);
         assert_eq!(g.nodes().count(), 4);
         assert_eq!(g.edge_ids().count(), 0);
+    }
+
+    #[test]
+    fn csr_adjacency_preserves_insertion_order_and_is_contiguous() {
+        // Parallel edges and interleaved insertion: each node's slice must
+        // list its entries in the order its edges were added.
+        let g = Graph::from_edges(3, [(0, 1, 9), (1, 2, 1), (0, 1, 2), (2, 0, 5)]).unwrap();
+        let order: Vec<EdgeId> = g.neighbors(NodeId(1)).iter().map(|a| a.edge).collect();
+        assert_eq!(order, vec![EdgeId(0), EdgeId(1), EdgeId(2)]);
+        let order: Vec<EdgeId> = g.neighbors(NodeId(0)).iter().map(|a| a.edge).collect();
+        assert_eq!(order, vec![EdgeId(0), EdgeId(2), EdgeId(3)]);
+        // The flat array holds exactly 2m entries, grouped by node id.
+        let total: usize = g.nodes().map(|v| g.degree(v)).sum();
+        assert_eq!(total, 2 * g.edge_count() as usize);
+        let flat: Vec<Adjacency> = g.nodes().flat_map(|v| g.neighbors(v).iter().copied()).collect();
+        assert_eq!(flat.len(), total);
     }
 
     #[test]

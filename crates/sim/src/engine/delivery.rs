@@ -20,31 +20,51 @@ use crate::Message;
 const PLACEHOLDER: Message = Message { from: NodeId(0), edge: EdgeId(0), words: Words::EMPTY };
 
 /// Flat inbox storage for one round of deliveries.
+///
+/// An arena covers a contiguous node-id range `[base, base + size)`. The
+/// sequential engine uses one arena over all `n` nodes; the sharded engine
+/// gives each shard an arena over exactly its slice (see
+/// [`DeliveryArena::new_range`] and [`DeliveryArena::build_range`]), so total
+/// index memory stays `O(n)` across all shards instead of `O(shards · n)`.
 #[derive(Debug, Clone)]
 pub(crate) struct DeliveryArena {
     /// All delivered messages, grouped by recipient.
     msgs: Vec<Message>,
-    /// Per-node start of its inbox range in `msgs`.
+    /// Per-node start of its inbox range in `msgs`, indexed by `id - base`.
     start: Vec<u32>,
-    /// Per-node inbox length.
+    /// Per-node inbox length, indexed by `id - base`.
     len: Vec<u32>,
-    /// Per-node fill cursor for the placement pass.
+    /// Per-node fill cursor for the placement pass, indexed by `id - base`.
     cursor: Vec<u32>,
     /// Recipients with a non-empty inbox this round (for `O(touched)` reset).
     touched: Vec<NodeId>,
+    /// First node id this arena covers (0 for the engine-wide arena).
+    base: u32,
 }
 
 impl DeliveryArena {
-    /// Creates an empty arena for `n` nodes. This is the only `O(n)`
+    /// Creates an empty arena for all `n` nodes. This is the only `O(n)`
     /// allocation; every round after construction reuses it.
     pub(crate) fn new(n: usize) -> Self {
+        DeliveryArena::new_range(0, n)
+    }
+
+    /// Creates an empty arena covering the node-id range `[lo, hi)`.
+    pub(crate) fn new_range(lo: usize, hi: usize) -> Self {
         DeliveryArena {
             msgs: Vec::new(),
-            start: vec![0; n],
-            len: vec![0; n],
-            cursor: vec![0; n],
+            start: vec![0; hi - lo],
+            len: vec![0; hi - lo],
+            cursor: vec![0; hi - lo],
             touched: Vec::new(),
+            base: lo as u32,
         }
+    }
+
+    /// The local index of `v`, or `None` if `v` is outside this arena's range.
+    fn local(&self, v: NodeId) -> Option<usize> {
+        let i = (v.0 as usize).checked_sub(self.base as usize)?;
+        (i < self.len.len()).then_some(i)
     }
 
     /// Rebuilds the arena from the messages sent last round, delivering to
@@ -60,6 +80,7 @@ impl DeliveryArena {
         incoming: &mut Vec<InFlight>,
         receptive: impl Fn(NodeId) -> bool,
     ) -> u64 {
+        debug_assert_eq!(self.base, 0, "draining build is for the engine-wide arena");
         // Reset last round's ranges.
         for v in self.touched.drain(..) {
             self.len[v.index()] = 0;
@@ -101,15 +122,70 @@ impl DeliveryArena {
         lost
     }
 
+    /// The non-draining, range-filtered variant of [`DeliveryArena::build`]
+    /// used by the sharded engine: every shard's worker scans the *shared*
+    /// in-flight stream and keeps only messages addressed to its own range,
+    /// so `incoming` is read concurrently and must stay intact.
+    ///
+    /// Returns the number of messages lost on non-receptive recipients
+    /// *within this arena's range*; messages to other ranges are ignored
+    /// entirely (each message's recipient lies in exactly one shard, so the
+    /// shard tallies sum to the sequential engine's total). Per-recipient
+    /// order is the `incoming` order, exactly as in the draining build.
+    pub(crate) fn build_range(
+        &mut self,
+        incoming: &[InFlight],
+        receptive: impl Fn(NodeId) -> bool,
+    ) -> u64 {
+        let base = self.base as usize;
+        for v in self.touched.drain(..) {
+            self.len[v.index() - base] = 0;
+        }
+
+        let mut lost = 0u64;
+        for flight in incoming {
+            let Some(i) = self.local(flight.to) else { continue };
+            if receptive(flight.to) {
+                if self.len[i] == 0 {
+                    self.touched.push(flight.to);
+                }
+                self.len[i] += 1;
+            } else {
+                lost += 1;
+            }
+        }
+
+        let mut offset = 0u32;
+        for &v in &self.touched {
+            let i = v.index() - base;
+            self.start[i] = offset;
+            self.cursor[i] = offset;
+            offset += self.len[i];
+        }
+
+        self.msgs.clear();
+        self.msgs.resize(offset as usize, PLACEHOLDER);
+        for flight in incoming {
+            let Some(i) = self.local(flight.to) else { continue };
+            if receptive(flight.to) {
+                let c = &mut self.cursor[i];
+                self.msgs[*c as usize] = flight.msg;
+                *c += 1;
+            }
+        }
+        lost
+    }
+
     /// The inbox delivered to `v` this round (empty unless `v` was touched in
-    /// the latest [`DeliveryArena::build`]).
+    /// the latest build). `v` must lie in this arena's range.
     pub(crate) fn inbox(&self, v: NodeId) -> &[Message] {
-        let l = self.len[v.index()] as usize;
+        let i = v.index() - self.base as usize;
+        let l = self.len[i] as usize;
         if l == 0 {
             // `start[v]` may be stale from an earlier round; never index it.
             return &[];
         }
-        let s = self.start[v.index()] as usize;
+        let s = self.start[i] as usize;
         &self.msgs[s..s + l]
     }
 }
@@ -149,6 +225,28 @@ mod tests {
         assert_eq!(lost, 1);
         assert!(arena.inbox(NodeId(1)).is_empty());
         assert_eq!(arena.inbox(NodeId(2)).len(), 2);
+    }
+
+    #[test]
+    fn range_arena_filters_to_its_slice_without_draining() {
+        // Two shard arenas over [0, 2) and [2, 4); node 3 is not receptive.
+        let mut lo_arena = DeliveryArena::new_range(0, 2);
+        let mut hi_arena = DeliveryArena::new_range(2, 4);
+        let incoming = vec![flight(0, 2, 10), flight(1, 3, 20), flight(3, 1, 30), flight(0, 2, 40)];
+        let lo_lost = lo_arena.build_range(&incoming, |v| v != NodeId(3));
+        let hi_lost = hi_arena.build_range(&incoming, |v| v != NodeId(3));
+        assert_eq!(incoming.len(), 4, "the shared stream is not drained");
+        assert_eq!((lo_lost, hi_lost), (0, 1), "losses are counted per range");
+        assert_eq!(lo_arena.inbox(NodeId(1)).len(), 1);
+        assert_eq!(lo_arena.inbox(NodeId(1))[0].words[0], 30);
+        let hub = hi_arena.inbox(NodeId(2));
+        assert_eq!(hub.len(), 2);
+        assert_eq!((hub[0].words[0], hub[1].words[0]), (10, 40), "stream order per recipient");
+        // Rebuilding resets stale ranges exactly like the draining build.
+        let incoming = vec![flight(1, 0, 50)];
+        lo_arena.build_range(&incoming, |_| true);
+        assert!(lo_arena.inbox(NodeId(1)).is_empty());
+        assert_eq!(lo_arena.inbox(NodeId(0)).len(), 1);
     }
 
     #[test]

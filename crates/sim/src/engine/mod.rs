@@ -19,11 +19,58 @@
 //!   ([`Engine::run_reference`]), the semantic oracle for differential tests
 //!   and the baseline of the E11 engine-throughput experiment (see
 //!   `EXPERIMENTS.md`).
+//! * `sharded` — the multi-threaded execution mode behind
+//!   [`crate::SimConfig::threads`], bit-identical to the sequential path at
+//!   every thread count. See the determinism argument below.
+//!
+//! # Sharded execution and the shard-merge determinism argument
+//!
+//! With `threads = S > 1`, [`Engine::run`] partitions the node ids into `S`
+//! contiguous shards. Each shard owns a slice of the protocol states, its own
+//! range-restricted delivery arena, and a private outbox; a persistent worker
+//! steps the shard's awake nodes each round, and the main thread merges the
+//! shard outboxes *in fixed shard order* before doing all global accounting
+//! itself. The outcome is byte-for-byte the sequential engine's:
+//!
+//! * **Execution order.** The awake list is globally sorted by node id, and
+//!   shards are contiguous id ranges, so a shard's segment of it is a
+//!   contiguous run. Concatenating the shard outboxes in shard order is
+//!   therefore exactly the node-id-ordered send stream the sequential loop
+//!   produces — for *any* S. Nodes only interact through messages (delivered
+//!   a round later) and never observe intra-round timing, so stepping them
+//!   concurrently is unobservable.
+//! * **Delivery order.** Each recipient's inbox is the in-flight stream
+//!   filtered to it, in stream order. Workers read the *shared* stream and
+//!   filter to their own range without reordering, so every inbox is the
+//!   same slice of the same stream the sequential arena builds. Receptivity
+//!   is a read-only query against start-of-round scheduler state.
+//! * **Capacity charging and strict errors.** All per-send accounting
+//!   (bandwidth check, per-edge-direction capacity counters, congestion,
+//!   traces) happens on the main thread during the merge, walking the merged
+//!   stream — i.e. in sequential send order — so counters take identical
+//!   values and the *first* violating send in strict mode produces the
+//!   identical error. A worker-side protocol panic is re-raised at the
+//!   panicking node's position in merge order, after the completed sends of
+//!   earlier nodes were accounted and with the panicking node's partial
+//!   sends discarded — again matching the sequential loop.
+//! * **Fault fates.** A message's drop/jitter fate is a pure function of
+//!   `(edge, sender, send round)` (see [`crate::fault`]) — no RNG state is
+//!   threaded through delivery — so applying fates batch-per-shard during
+//!   the merge rolls the identical fates in the identical order, and the
+//!   jitter buffer fills in the same order too. Crash/restart churn and all
+//!   scheduler mutation (halt/reschedule/revive) stay on the main thread.
+//!
+//! The hot path takes no locks: each worker locks its own uncontended shard
+//! mutex and a shared read-write lock once per round (both futex-based, no
+//! allocation), with two barriers delimiting the parallel section. Workers
+//! are spawned once per run, so steady-state rounds allocate nothing — the
+//! alloc-regression test covers the sharded path too.
 
 mod active_set;
 mod capacity;
 mod delivery;
 mod reference;
+mod sharded;
 
 use congest_graph::{EdgeId, Graph, NodeId};
 
@@ -90,6 +137,12 @@ impl<'g> Engine<'g> {
     /// total awake work rather than `n · rounds`. The semantics are those of
     /// the naive sweep ([`Engine::run_reference`]), bit for bit.
     ///
+    /// With [`crate::SimConfig::threads`] resolving to more than one worker
+    /// (see [`crate::SimConfig::resolved_threads`]), awake nodes are stepped
+    /// in parallel across contiguous node-id shards; results stay
+    /// bit-identical at every thread count (see the module docs for the
+    /// shard-merge determinism argument).
+    ///
     /// # Errors
     ///
     /// * [`SimError::RoundLimitExceeded`] if the protocol does not halt within
@@ -97,7 +150,24 @@ impl<'g> Engine<'g> {
     /// * [`SimError::EdgeCapacityExceeded`] / [`SimError::MessageTooLarge`]
     ///   if a node violates the CONGEST constraints and `strict_capacity` is
     ///   enabled.
-    pub fn run<P, F>(&self, mut factory: F) -> Result<RunOutcome<P>, SimError>
+    pub fn run<P, F>(&self, factory: F) -> Result<RunOutcome<P>, SimError>
+    where
+        P: Protocol,
+        F: FnMut(NodeId) -> P,
+    {
+        let n = self.network.graph().node_count() as usize;
+        // More shards than nodes would just idle; an empty graph still needs
+        // one (sequential) pass to produce its trivial outcome.
+        let shards = self.config.resolved_threads().min(n.max(1));
+        if shards <= 1 {
+            self.run_seq(factory)
+        } else {
+            sharded::run_sharded(self, factory, shards)
+        }
+    }
+
+    /// The sequential (single-threaded) execution path of [`Engine::run`].
+    fn run_seq<P, F>(&self, mut factory: F) -> Result<RunOutcome<P>, SimError>
     where
         P: Protocol,
         F: FnMut(NodeId) -> P,

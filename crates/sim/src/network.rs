@@ -1,7 +1,5 @@
 //! The simulated network: a view over a [`congest_graph::Graph`] plus a
-//! precomputed neighbour→adjacency index for `O(1)` send-path lookups.
-
-use std::collections::HashMap;
+//! precomputed neighbour→adjacency index for fast send-path lookups.
 
 use congest_graph::{Adjacency, Graph, NodeId};
 
@@ -10,39 +8,69 @@ use congest_graph::{Adjacency, Graph, NodeId};
 /// [`crate::NodeCtx::send`] must resolve "the lightest edge to neighbour `u`"
 /// on every call; scanning the adjacency list makes that `O(degree)` per send
 /// — `Θ(degree²)` per round on a hub that talks to every neighbour (see the
-/// E13 star benchmark). This index resolves it in `O(1)` expected time
-/// instead, from one `O(m)` build pass at [`Network::new`].
+/// E13 star benchmark). This index resolves it in `O(log degree)` from one
+/// `O(m log m)` build pass at [`Network::new`].
+///
+/// The index is CSR-shaped, like [`Graph`]'s adjacency itself: one flat array
+/// of best-edge entries (one per distinct `(node, neighbour)` pair, sorted by
+/// neighbour id within each node's run) plus an `n + 1` offset table, and a
+/// lookup is a binary search over the node's run. This replaces the earlier
+/// `HashMap<(u32, u32), Adjacency>`: flat arrays cost a fraction of the hash
+/// map's memory at large `n` (the million-node regime of E15), are `Send +
+/// Sync` plain data the sharded engine's workers can read concurrently, and
+/// binary search on a hub's cache-resident run competes well with hashing.
 #[derive(Debug, Clone)]
 pub(crate) struct NeighborIndex {
-    /// `(from, to)` → the adjacency entry [`crate::NodeCtx::send`] picks: the
-    /// minimum-weight edge to `to`, resolving weight ties to the *first* such
-    /// entry in `from`'s adjacency list (the tie `Iterator::min_by_key`
-    /// resolved before the index existed, preserved bit for bit).
-    best: HashMap<(u32, u32), Adjacency>,
+    /// CSR offsets: node `v`'s best-edge entries live at
+    /// `entries[offsets[v] .. offsets[v + 1]]`. Length `n + 1`.
+    offsets: Vec<u32>,
+    /// One entry per distinct `(node, neighbour)` pair: the minimum-weight
+    /// edge to that neighbour, resolving weight ties to the *first* such
+    /// entry in the node's adjacency list (the tie `Iterator::min_by_key`
+    /// resolved before the index existed, preserved bit for bit). Sorted by
+    /// neighbour id within each node's run.
+    entries: Vec<Adjacency>,
 }
 
 impl NeighborIndex {
     fn build(graph: &Graph) -> NeighborIndex {
-        let mut best: HashMap<(u32, u32), Adjacency> =
-            HashMap::with_capacity(2 * graph.edge_count() as usize);
+        let n = graph.node_count() as usize;
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut entries: Vec<Adjacency> = Vec::with_capacity(2 * graph.edge_count() as usize);
+        let mut row: Vec<Adjacency> = Vec::new();
+        offsets.push(0);
         for v in graph.nodes() {
-            for adj in graph.neighbors(v) {
-                best.entry((v.0, adj.neighbor.0))
-                    .and_modify(|cur| {
-                        if adj.weight < cur.weight {
-                            *cur = *adj;
-                        }
-                    })
-                    .or_insert(*adj);
+            row.clear();
+            row.extend_from_slice(graph.neighbors(v));
+            // A *stable* sort keeps adjacency-list order within each
+            // neighbour's group, so "first minimal entry" below means first
+            // in insertion order — the pre-index tie rule.
+            row.sort_by_key(|a| a.neighbor);
+            let mut iter = row.iter();
+            if let Some(&first) = iter.next() {
+                let mut best = first;
+                for &a in iter {
+                    if a.neighbor != best.neighbor {
+                        entries.push(best);
+                        best = a;
+                    } else if a.weight < best.weight {
+                        best = a;
+                    }
+                }
+                entries.push(best);
             }
+            offsets.push(entries.len() as u32);
         }
-        NeighborIndex { best }
+        NeighborIndex { offsets, entries }
     }
 
     /// The adjacency entry for the preferred (lightest) edge from `from` to
     /// its neighbour `to`, or `None` if they are not adjacent.
     pub(crate) fn best_edge_to(&self, from: NodeId, to: NodeId) -> Option<&Adjacency> {
-        self.best.get(&(from.0, to.0))
+        let lo = self.offsets[from.index()] as usize;
+        let hi = self.offsets[from.index() + 1] as usize;
+        let run = &self.entries[lo..hi];
+        run.binary_search_by_key(&to, |a| a.neighbor).ok().map(|i| &run[i])
     }
 }
 

@@ -17,7 +17,12 @@ use crate::Message;
 ///
 /// Nodes control their own sleep schedule through [`NodeCtx::sleep_for`] /
 /// [`NodeCtx::sleep_until`] and stop participating with [`NodeCtx::halt`].
-pub trait Protocol {
+///
+/// `Send` is a supertrait because the engine's sharded execution mode (see
+/// [`crate::SimConfig::threads`]) moves per-node state machines onto worker
+/// threads. Protocol states are per-node values the engine owns outright, so
+/// any ordinary state type (plain data, seeded RNGs, …) is `Send` already.
+pub trait Protocol: Send {
     /// Called once, in round 0, when every node is awake. Typically used to
     /// send initial messages and set the initial sleep schedule.
     fn init(&mut self, ctx: &mut NodeCtx<'_>);

@@ -95,11 +95,19 @@ impl Protocol for ProbedFlood {
 /// process-global allocation counter.
 #[test]
 fn steady_state_rounds_allocate_nothing_and_the_probe_is_honest() {
-    steady_state_rounds_allocate_nothing();
+    steady_state_rounds_allocate_nothing(1);
+    // The sharded engine holds the same contract: after the one-time setup
+    // (worker spawn, per-shard arenas/outboxes, the shared double buffer),
+    // a steady-state round takes only barrier waits and futex-based lock
+    // acquisitions — no allocator traffic on any thread. The counter is
+    // process-global and monotone, so a zero delta across node 0's
+    // snapshots bounds *all* threads' allocations, not just the main one.
+    steady_state_rounds_allocate_nothing(2);
+    steady_state_rounds_allocate_nothing(4);
     reference_engine_allocates_every_round();
 }
 
-fn steady_state_rounds_allocate_nothing() {
+fn steady_state_rounds_allocate_nothing(threads: usize) {
     // Always-awake flood: every round moves 2m messages, reschedules every
     // node, and rebuilds every inbox — the maximal per-round churn of the
     // message path. 192 nodes keep the test fast; the buffers involved are
@@ -110,7 +118,7 @@ fn steady_state_rounds_allocate_nothing() {
     // warm-up covers the ring with margin.
     let warmup: u64 = 96;
     let g = generators::random_connected(192, 400, 41);
-    let run = Engine::new(&g, SimConfig::default())
+    let run = Engine::new(&g, SimConfig::default().with_threads(threads))
         .run(|id| ProbedFlood::new(id, until))
         .expect("flood runs clean");
 
@@ -126,7 +134,7 @@ fn steady_state_rounds_allocate_nothing() {
             assert_eq!(
                 a1 - a0,
                 0,
-                "round {r0} -> {r1} performed {} heap allocation(s); \
+                "round {r0} -> {r1} performed {} heap allocation(s) at {threads} thread(s); \
                  the steady-state message path must perform none",
                 a1 - a0
             );

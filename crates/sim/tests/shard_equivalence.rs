@@ -1,0 +1,259 @@
+//! Differential testing of the sharded engine against the sequential one.
+//!
+//! The sharding design note in `engine/mod.rs` claims results are
+//! **bit-identical at every thread count** — sharding is an execution
+//! strategy, not a semantic knob. This harness checks that claim the same way
+//! `engine_equivalence.rs` checks the active-set engine against the naive
+//! loop: a pseudo-random chaos protocol (random sends, sleeps, halts, and a
+//! running digest over message content/order/arrival round) runs on random
+//! graphs under random configurations *and random fault plans*, once per
+//! thread count in `{1, 2, 4}` plus once through `run_reference`. Metrics,
+//! edge traces, and per-node state digests must agree exactly across all
+//! four executions — and strict-mode errors must be the *same* error.
+
+use congest_graph::{generators, Graph, NodeId};
+use congest_sim::fault::FaultPlan;
+use congest_sim::workloads::WaveBfs;
+use congest_sim::{Engine, Message, NodeCtx, Protocol, SimConfig};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// The thread counts every scenario is replayed at (1 = the sequential path).
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Clears a `SIM_THREADS` override once per process: it would force every
+/// run onto one thread count and collapse the sweep this harness exists for.
+fn clear_thread_override() {
+    static CLEAR: std::sync::Once = std::sync::Once::new();
+    CLEAR.call_once(|| std::env::remove_var("SIM_THREADS"));
+}
+
+/// A deterministic pseudo-random protocol (the `engine_equivalence.rs`
+/// chaos harness): behaviour depends only on the node's own RNG stream and
+/// what the engine shows it.
+#[derive(Debug, Clone)]
+struct ChaosNode {
+    rng: ChaCha8Rng,
+    lifetime: u64,
+    digest: u64,
+}
+
+impl ChaosNode {
+    fn new(seed: u64, id: NodeId) -> ChaosNode {
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(id.0 as u64 + 1)),
+        );
+        let lifetime = rng.gen_range(3u64..40);
+        ChaosNode { rng, lifetime, digest: seed }
+    }
+
+    fn absorb(&mut self, round: u64, inbox: &[Message]) {
+        for msg in inbox {
+            self.digest = self
+                .digest
+                .wrapping_mul(0x100_0000_01b3)
+                .wrapping_add(msg.from.0 as u64)
+                .wrapping_add((msg.edge.0 as u64) << 17)
+                .wrapping_add(round << 34);
+            for &w in &msg.words {
+                self.digest = self.digest.rotate_left(13) ^ w;
+            }
+        }
+    }
+
+    fn act(&mut self, ctx: &mut NodeCtx<'_>) {
+        let neighbors: Vec<_> = ctx.neighbors().to_vec();
+        for adj in &neighbors {
+            if self.rng.gen_range(0u32..100) < 40 {
+                let len = self.rng.gen_range(1..=5usize);
+                let mut words = vec![0u64; len];
+                for w in words.iter_mut() {
+                    *w = self.digest ^ self.rng.gen_range(0u64..1_000_000);
+                }
+                ctx.send_on_edge(adj.edge, &words);
+            }
+        }
+        if ctx.round() >= self.lifetime {
+            ctx.halt();
+        } else if self.rng.gen_range(0u32..100) < 35 {
+            ctx.sleep_for(self.rng.gen_range(1u64..7));
+        }
+    }
+}
+
+impl Protocol for ChaosNode {
+    fn init(&mut self, ctx: &mut NodeCtx<'_>) {
+        self.act(ctx);
+    }
+
+    fn on_round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[Message]) {
+        self.absorb(ctx.round(), inbox);
+        self.act(ctx);
+    }
+}
+
+/// Runs the chaos protocol at every thread count plus through the reference
+/// engine and asserts all four executions are indistinguishable.
+fn assert_thread_counts_equivalent(g: &Graph, cfg: SimConfig, seed: u64) {
+    clear_thread_override();
+    let baseline = Engine::new(g, cfg.clone().with_threads(1)).run(|id| ChaosNode::new(seed, id));
+    for threads in &THREAD_COUNTS[1..] {
+        let sharded =
+            Engine::new(g, cfg.clone().with_threads(*threads)).run(|id| ChaosNode::new(seed, id));
+        match (&baseline, &sharded) {
+            (Ok(b), Ok(s)) => {
+                assert_eq!(
+                    b.metrics, s.metrics,
+                    "metrics diverged at {threads} threads (seed {seed})"
+                );
+                assert_eq!(b.trace, s.trace, "traces diverged at {threads} threads (seed {seed})");
+                let bd: Vec<u64> = b.states.iter().map(|s| s.digest).collect();
+                let sd: Vec<u64> = s.states.iter().map(|s| s.digest).collect();
+                assert_eq!(bd, sd, "state digests diverged at {threads} threads (seed {seed})");
+            }
+            (Err(b), Err(s)) => {
+                assert_eq!(b, s, "errors diverged at {threads} threads (seed {seed})");
+            }
+            (b, s) => panic!("outcome kind diverged at {threads} threads: 1={b:?} {threads}={s:?}"),
+        }
+    }
+    // The reference loop is the semantic oracle for all of them.
+    let reference = Engine::new(g, cfg).run_reference(|id| ChaosNode::new(seed, id));
+    match (&baseline, &reference) {
+        (Ok(b), Ok(r)) => {
+            assert_eq!(b.metrics, r.metrics, "metrics diverged from reference (seed {seed})");
+            assert_eq!(b.trace, r.trace, "traces diverged from reference (seed {seed})");
+        }
+        (Err(b), Err(r)) => assert_eq!(b, r, "errors diverged from reference (seed {seed})"),
+        (b, r) => panic!("outcome kind diverged from reference: run={b:?} reference={r:?}"),
+    }
+}
+
+fn chaos_config() -> impl Strategy<Value = SimConfig> {
+    (1u32..3, 0u8..2, 0u8..2).prop_map(|(capacity, fast_forward, trace)| SimConfig {
+        edge_capacity: capacity,
+        strict_capacity: false,
+        fast_forward_idle: fast_forward == 1,
+        record_edge_trace: trace == 1,
+        ..SimConfig::default()
+    })
+}
+
+/// Random fault plans: message loss, delivery jitter, and crash/restart
+/// churn — everything the fault layer can throw at the shard merge.
+fn fault_plan(n: u32) -> impl Strategy<Value = FaultPlan> {
+    (0u64..1_000_000, 0u32..200_000, 0u64..3, 0u8..2, 0u64..16).prop_map(
+        move |(seed, drop_ppm, skew, crash, crash_at)| {
+            let mut plan =
+                FaultPlan::none().with_seed(seed).with_drop_ppm(drop_ppm).with_max_skew(skew);
+            if crash == 1 {
+                let node = NodeId(seed as u32 % n);
+                plan = plan.with_crash(node, crash_at, Some(crash_at + 3));
+            }
+            plan
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn thread_counts_agree_on_random_graphs(
+        n in 2u32..28,
+        extra in 0u64..40,
+        graph_seed in 0u64..1_000_000,
+        protocol_seed in 0u64..1_000_000,
+        cfg in chaos_config(),
+    ) {
+        let g = generators::random_connected(n, extra, graph_seed);
+        assert_thread_counts_equivalent(&g, cfg, protocol_seed);
+    }
+
+    #[test]
+    fn thread_counts_agree_under_fault_plans(
+        n in 3u32..24,
+        extra in 0u64..30,
+        graph_seed in 0u64..1_000_000,
+        protocol_seed in 0u64..1_000_000,
+        cfg in chaos_config(),
+        plan in fault_plan(24),
+    ) {
+        let g = generators::random_connected(n, extra, graph_seed);
+        assert_thread_counts_equivalent(&g, cfg.with_faults(plan), protocol_seed);
+    }
+
+    #[test]
+    fn thread_counts_agree_on_multigraphs(
+        protocol_seed in 0u64..1_000_000,
+        cfg in chaos_config(),
+    ) {
+        // Parallel edges exercise per-edge-direction capacity accounting in
+        // the merge's sequential charging pass.
+        let g = Graph::from_edges(3, [(0, 1, 1), (0, 1, 2), (1, 2, 1), (0, 2, 3), (0, 2, 3)])
+            .expect("valid multigraph");
+        assert_thread_counts_equivalent(&g, cfg, protocol_seed);
+    }
+}
+
+/// A real workload across thread counts: wave-BFS distances, metrics, and
+/// energy must come out identical, with more shards than some shards have
+/// awake nodes in any given round.
+#[test]
+fn wave_bfs_is_bit_identical_across_thread_counts() {
+    clear_thread_override();
+    let g = generators::random_connected(400, 700, 11);
+    let schedule = WaveBfs::schedule(&g, &[NodeId(0)]);
+    let run = |threads: usize| {
+        Engine::new(&g, SimConfig::default().with_threads(threads))
+            .run(|id| WaveBfs::new(schedule[id.index()]))
+            .expect("wave BFS completes")
+    };
+    let base = run(1);
+    for threads in [2, 4, 7] {
+        let sharded = run(threads);
+        assert_eq!(base.metrics, sharded.metrics, "metrics diverged at {threads} threads");
+        let bd: Vec<_> = base.states.iter().map(|s| s.dist).collect();
+        let sd: Vec<_> = sharded.states.iter().map(|s| s.dist).collect();
+        assert_eq!(bd, sd, "distances diverged at {threads} threads");
+    }
+}
+
+/// Strict-mode violations must surface as the *same* first error regardless
+/// of which shard steps the offending node.
+#[test]
+fn strict_errors_agree_across_thread_counts() {
+    clear_thread_override();
+
+    /// High-id nodes double-send on their first incident edge, so capacity 1
+    /// breaks deterministically — and the *first* violation in node-id order
+    /// sits in a late shard, while the merge must still report it first.
+    #[derive(Debug)]
+    struct Blaster;
+    impl Protocol for Blaster {
+        fn init(&mut self, ctx: &mut NodeCtx<'_>) {
+            if ctx.node_id().0 >= 3 {
+                let edge = ctx.neighbors()[0].edge;
+                ctx.send_on_edge(edge, &[1]);
+                ctx.send_on_edge(edge, &[2]);
+            }
+        }
+        fn on_round(&mut self, ctx: &mut NodeCtx<'_>, _inbox: &[Message]) {
+            ctx.halt();
+        }
+    }
+
+    let g = Graph::from_edges(6, [(0, 1, 1), (1, 2, 2), (2, 3, 1), (3, 4, 1), (4, 5, 1)])
+        .expect("valid path");
+    let base = Engine::new(&g, SimConfig::default().with_threads(1)).run(|_| Blaster);
+    let err = base.expect_err("capacity 1 must be exceeded");
+    for threads in [2, 3, 4] {
+        let sharded = Engine::new(&g, SimConfig::default().with_threads(threads)).run(|_| Blaster);
+        assert_eq!(
+            sharded.expect_err("same violation"),
+            err,
+            "error diverged at {threads} threads"
+        );
+    }
+}
