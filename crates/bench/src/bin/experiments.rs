@@ -35,6 +35,8 @@
 //! `congest_bench`). JSON artifacts land in `BENCH_OUT_DIR` when that
 //! environment variable is set, in the current directory otherwise.
 
+#![forbid(unsafe_code)]
+
 use congest_bench::table::{render, TableRow};
 use congest_bench::{
     bench_out_path, e10_recursion, e11_engine_throughput, e12_apsp_throughput,

@@ -89,7 +89,7 @@ pub fn spanning_forest(g: &Graph, low_energy: bool) -> (DistributedForest, Metri
         // Each fragment picks its smallest-id outgoing edge. Only edges that
         // still cross fragments are probed (an edge whose endpoints merged in
         // an earlier phase is known to be internal and stays silent).
-        let mut choice: std::collections::HashMap<u32, EdgeId> = std::collections::HashMap::new();
+        let mut choice: std::collections::BTreeMap<u32, EdgeId> = std::collections::BTreeMap::new();
         let mut probed_edges: Vec<EdgeId> = Vec::new();
         for e in g.edge_ids() {
             let edge = g.edge(e);

@@ -166,9 +166,10 @@ impl SparseCover {
         let max_membership = self.membership.iter().map(|m| m.len()).max().unwrap_or(0);
         let mean_membership =
             self.membership.iter().map(|m| m.len()).sum::<usize>() as f64 / n as f64;
-        // Edge load: how many cluster trees use each (undirected) edge.
-        let mut edge_load: std::collections::HashMap<(NodeId, NodeId), usize> =
-            std::collections::HashMap::new();
+        // Edge load: how many cluster trees use each (undirected) edge. A
+        // BTreeMap keeps the tally structure deterministic end to end.
+        let mut edge_load: std::collections::BTreeMap<(NodeId, NodeId), usize> =
+            std::collections::BTreeMap::new();
         for c in &self.clusters {
             for (child, parent) in c.tree.edges() {
                 let key = if child < parent { (child, parent) } else { (parent, child) };
@@ -210,7 +211,7 @@ impl SparseCover {
         }
         // At most one cluster per color per node.
         for v in 0..n {
-            let mut colors_seen = std::collections::HashSet::new();
+            let mut colors_seen = std::collections::BTreeSet::new();
             for &cid in &self.membership[v] {
                 let color = self.cluster(cid).color;
                 if !colors_seen.insert(color) {

@@ -1,0 +1,100 @@
+//! The `simlint` CLI: lint the workspace, print findings, gate CI.
+//!
+//! ```text
+//! simlint [--root <path>] [--json] [--out <file>]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` unallowed findings, `2` usage or I/O error.
+//! `--json` prints the machine-readable report to stdout instead of the
+//! human one; `--out <file>` additionally writes the JSON report to a file
+//! (written *before* the exit status is decided, so CI can archive it even
+//! when the gate fails).
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut out_file: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage("--root requires a path"),
+            },
+            "--out" => match args.next() {
+                Some(p) => out_file = Some(PathBuf::from(p)),
+                None => return usage("--out requires a file path"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "simlint: workspace determinism / zero-alloc / safety linter\n\n\
+                     usage: simlint [--root <path>] [--json] [--out <file>]\n\n\
+                     Walks crates/*/{{src,tests,benches,examples}}, src/, tests/, examples/,\n\
+                     benches/ (never vendor/ or target/). Exits 0 when clean, 1 on any\n\
+                     unallowed finding. Suppress with a justified inline pragma:\n\
+                     // simlint::allow(<rule>: <reason>)\n\n\
+                     Rules: {}\n\nSee docs/DETERMINISM.md for the full catalogue.",
+                    congest_lint::rules::ALL_RULES.join(", ")
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let report = match congest_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("simlint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if report.files_scanned == 0 {
+        // A gate that scans nothing is a gate that silently passes from the
+        // wrong working directory; refuse instead.
+        eprintln!("simlint: no .rs files found under {} — wrong --root?", root.display());
+        return ExitCode::from(2);
+    }
+
+    if let Some(path) = &out_file {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("simlint: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        for f in &report.findings {
+            println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+        }
+        println!(
+            "simlint: {} finding{} — {} file{} scanned, {} pragma-allowed exception{}",
+            report.findings.len(),
+            if report.findings.len() == 1 { "" } else { "s" },
+            report.files_scanned,
+            if report.files_scanned == 1 { "" } else { "s" },
+            report.allowed.len(),
+            if report.allowed.len() == 1 { "" } else { "s" },
+        );
+    }
+
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("simlint: {msg}\nusage: simlint [--root <path>] [--json] [--out <file>]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,263 @@
+//! A comment/string/char-aware Rust token scanner.
+//!
+//! This is deliberately *not* a full Rust lexer: the rule engine only needs
+//! identifiers, punctuation, and line numbers, with everything that could hide
+//! a trigger token — string literals (plain, raw, byte, raw-byte), char
+//! literals, line comments, and (nested) block comments — either skipped or
+//! captured as an opaque [`Tok::Literal`] / [`Comment`]. Lifetimes are
+//! recognised so that `'a` is never mistaken for an unterminated char literal.
+//!
+//! Line comments are captured (with their text) because the rule engine reads
+//! three comment conventions out of them: `// simlint::allow(<rule>: <reason>)`
+//! pragmas, `// SAFETY:` justifications, and the `//! simlint: hot-path`
+//! module header. Block comments are skipped entirely — the pragma grammar is
+//! line-comment only, which keeps suppression visually adjacent to the code
+//! it covers.
+
+/// One scanned token. Literals carry no text: the scanner's job is precisely
+/// to make their *contents* invisible to the rule engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`HashMap`, `unsafe`, `use`, …).
+    Ident { text: String, line: u32 },
+    /// A single punctuation character (`::` is two `:` tokens).
+    Punct { ch: char, line: u32 },
+    /// A string / raw-string / byte-string / char / numeric literal.
+    Literal { line: u32 },
+}
+
+impl Tok {
+    /// The 1-based line the token starts on.
+    pub fn line(&self) -> u32 {
+        match self {
+            Tok::Ident { line, .. } | Tok::Punct { line, .. } | Tok::Literal { line } => *line,
+        }
+    }
+
+    /// The identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Tok::Ident { text, .. } => Some(text),
+            _ => None,
+        }
+    }
+
+    /// The punctuation character, if this is punctuation.
+    pub fn punct(&self) -> Option<char> {
+        match self {
+            Tok::Punct { ch, .. } => Some(*ch),
+            _ => None,
+        }
+    }
+}
+
+/// A captured `//` line comment.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text after the `//`, trimmed. Doc comments keep their marker:
+    /// `//! x` scans as `"! x"` and `/// x` as `"/ x"`; use
+    /// [`Comment::content`] for the marker-stripped text.
+    pub text: String,
+    /// The 1-based line the comment is on.
+    pub line: u32,
+}
+
+impl Comment {
+    /// The comment text with at most one leading doc marker (`!` or `/`)
+    /// stripped, trimmed. Exactly one, so a commented-out pragma example in a
+    /// doc comment (`//! // simlint::allow(…)`) stays inert.
+    pub fn content(&self) -> &str {
+        let t = self.text.as_str();
+        let t = t.strip_prefix('!').or_else(|| t.strip_prefix('/')).unwrap_or(t);
+        t.trim()
+    }
+}
+
+/// The scan of one source file.
+#[derive(Debug, Default)]
+pub struct ScanResult {
+    pub tokens: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+impl ScanResult {
+    /// The smallest line `> after` on which any token starts, if any. Used to
+    /// resolve which code line an own-line pragma covers.
+    pub fn next_code_line(&self, after: u32) -> Option<u32> {
+        self.tokens.iter().map(Tok::line).filter(|&l| l > after).min()
+    }
+
+    /// `true` if any token starts on `line`.
+    pub fn has_code_on(&self, line: u32) -> bool {
+        self.tokens.iter().any(|t| t.line() == line)
+    }
+}
+
+/// Scans `src`, producing tokens and line comments. Never fails: unterminated
+/// literals or comments simply consume to end of input (rustc will reject the
+/// file anyway; the linter must not panic on it).
+pub fn scan(src: &str) -> ScanResult {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = ScanResult::default();
+    let mut line: u32 = 1;
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                let start = i + 2;
+                let mut j = start;
+                while j < chars.len() && chars[j] != '\n' {
+                    j += 1;
+                }
+                let text: String = chars[start..j].iter().collect();
+                out.comments.push(Comment { text: text.trim().to_string(), line });
+                i = j;
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                // Block comments nest in Rust.
+                let mut depth = 1u32;
+                let mut j = i + 2;
+                while j < chars.len() && depth > 0 {
+                    if chars[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if chars[j] == '/' && chars.get(j + 1) == Some(&'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if chars[j] == '*' && chars.get(j + 1) == Some(&'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            '"' => {
+                let lit_line = line;
+                i = consume_string(&chars, i + 1, &mut line);
+                out.tokens.push(Tok::Literal { line: lit_line });
+            }
+            '\'' => {
+                let lit_line = line;
+                match chars.get(i + 1) {
+                    Some('\\') => {
+                        // Escaped char literal: consume to the closing quote.
+                        let mut j = i + 3;
+                        while j < chars.len() && chars[j] != '\'' {
+                            if chars[j] == '\n' {
+                                line += 1;
+                            }
+                            j += 1;
+                        }
+                        i = j + 1;
+                        out.tokens.push(Tok::Literal { line: lit_line });
+                    }
+                    Some(_) if chars.get(i + 2) == Some(&'\'') => {
+                        // Plain char literal 'x'.
+                        i += 3;
+                        out.tokens.push(Tok::Literal { line: lit_line });
+                    }
+                    _ => {
+                        // A lifetime ('a, 'static): skip its identifier, emit
+                        // nothing — rule patterns never involve lifetimes.
+                        let mut j = i + 1;
+                        while j < chars.len() && (chars[j] == '_' || chars[j].is_alphanumeric()) {
+                            j += 1;
+                        }
+                        i = j;
+                    }
+                }
+            }
+            _ if c == '_' || c.is_alphabetic() => {
+                let start = i;
+                let id_line = line;
+                while i < chars.len() && (chars[i] == '_' || chars[i].is_alphanumeric()) {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                // Literal prefixes: r"…", r#"…"#, b"…", br"…", br#"…"#.
+                if (text == "r" || text == "br") && raw_string_starts(&chars, i) {
+                    i = consume_raw_string(&chars, i, &mut line);
+                    out.tokens.push(Tok::Literal { line: id_line });
+                } else if text == "b" && chars.get(i) == Some(&'"') {
+                    i = consume_string(&chars, i + 1, &mut line);
+                    out.tokens.push(Tok::Literal { line: id_line });
+                } else {
+                    out.tokens.push(Tok::Ident { text, line: id_line });
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                let lit_line = line;
+                // Numbers (incl. hex/suffixes); `.` is left out so tuple
+                // indexing and method calls keep their own tokens.
+                while i < chars.len() && (chars[i] == '_' || chars[i].is_alphanumeric()) {
+                    i += 1;
+                }
+                out.tokens.push(Tok::Literal { line: lit_line });
+            }
+            _ => {
+                out.tokens.push(Tok::Punct { ch: c, line });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Consumes a (byte-)string body starting just after the opening `"`; returns
+/// the index just past the closing quote.
+fn consume_string(chars: &[char], mut j: usize, line: &mut u32) -> usize {
+    while j < chars.len() {
+        match chars[j] {
+            '\\' => j += 2,
+            '"' => return j + 1,
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// `true` if, at `j` (just after an `r`/`br` prefix), a raw string follows:
+/// zero or more `#` then `"`.
+fn raw_string_starts(chars: &[char], mut j: usize) -> bool {
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Consumes a raw string starting at `j` (just after the `r`/`br` prefix);
+/// returns the index just past the closing delimiter.
+fn consume_raw_string(chars: &[char], mut j: usize, line: &mut u32) -> usize {
+    let mut hashes = 0usize;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert_eq!(chars.get(j), Some(&'"'));
+    j += 1;
+    while j < chars.len() {
+        if chars[j] == '\n' {
+            *line += 1;
+            j += 1;
+        } else if chars[j] == '"'
+            && chars[j + 1..].iter().take(hashes).filter(|&&c| c == '#').count() == hashes
+        {
+            return j + 1 + hashes;
+        } else {
+            j += 1;
+        }
+    }
+    j
+}

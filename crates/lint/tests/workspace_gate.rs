@@ -1,0 +1,114 @@
+//! The gate `simlint` exists for, applied to itself: this workspace must lint
+//! clean, and the `simlint` binary's exit codes and JSON report must behave
+//! as CI relies on them to.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("workspace root")
+}
+
+#[test]
+fn the_workspace_lints_clean() {
+    let report = congest_lint::lint_workspace(&workspace_root()).expect("workspace walk");
+    assert!(report.ok(), "the workspace must be simlint-clean, found: {:#?}", report.findings);
+    assert!(report.files_scanned >= 80, "scanned only {} files", report.files_scanned);
+    // Every accepted exception carries a written reason (the pragma grammar
+    // enforces this per pragma; this pins it end to end).
+    assert!(!report.allowed.is_empty(), "the workspace documents its known exceptions");
+    for a in &report.allowed {
+        assert!(!a.reason.is_empty(), "{}:{} has an empty reason", a.file, a.line);
+    }
+}
+
+/// A scratch tree shaped like a workspace, torn down on drop.
+struct ScratchTree {
+    root: PathBuf,
+}
+
+impl ScratchTree {
+    fn new(tag: &str) -> ScratchTree {
+        let root = std::env::temp_dir().join(format!("simlint-{tag}-{}", std::process::id()));
+        // A stale tree from an interrupted earlier run must not leak files in.
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(root.join("crates/sim/src")).expect("scratch tree");
+        ScratchTree { root }
+    }
+
+    fn write(&self, rel: &str, contents: &str) {
+        let path = self.root.join(rel);
+        fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+        fs::write(path, contents).expect("write fixture");
+    }
+}
+
+impl Drop for ScratchTree {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+fn simlint(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_simlint")).args(args).output().expect("run simlint")
+}
+
+#[test]
+fn injected_ambient_randomness_fails_the_gate() {
+    let tree = ScratchTree::new("dirty");
+    tree.write(
+        "crates/sim/src/lib.rs",
+        "#![forbid(unsafe_code)]\npub fn roll() -> u64 { rand::thread_rng().gen() }\n",
+    );
+    let out = simlint(&["--root", tree.root.to_str().expect("utf8 path")]);
+    assert_eq!(out.status.code(), Some(1), "findings must exit nonzero");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("ambient-randomness"), "human report names the rule: {stdout}");
+    assert!(stdout.contains("crates/sim/src/lib.rs:2"), "…and the location: {stdout}");
+}
+
+#[test]
+fn json_report_is_written_even_when_the_gate_fails() {
+    let tree = ScratchTree::new("json");
+    tree.write(
+        "crates/sim/src/lib.rs",
+        "#![forbid(unsafe_code)]\npub fn now() -> std::time::Instant { std::time::Instant::now() }\n",
+    );
+    let json_path = tree.root.join("simlint.json");
+    let out = simlint(&[
+        "--root",
+        tree.root.to_str().expect("utf8 path"),
+        "--json",
+        "--out",
+        json_path.to_str().expect("utf8 path"),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    // `--json` streams the report to stdout…
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("\"ok\": false"), "{stdout}");
+    assert!(stdout.contains("\"rule\": \"wall-clock\""), "{stdout}");
+    // …and `--out` persists the same report for the CI artifact, findings or
+    // not (the artifact must exist precisely when the gate fails).
+    let on_disk = fs::read_to_string(&json_path).expect("artifact written");
+    assert_eq!(on_disk, stdout);
+}
+
+#[test]
+fn a_clean_tree_exits_zero() {
+    let tree = ScratchTree::new("clean");
+    tree.write(
+        "crates/sim/src/lib.rs",
+        "#![forbid(unsafe_code)]\npub fn double(x: u64) -> u64 { x * 2 }\n",
+    );
+    let out = simlint(&["--root", tree.root.to_str().expect("utf8 path")]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stdout));
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("0 findings"), "{stdout}");
+}
+
+#[test]
+fn a_missing_root_is_a_usage_error_not_a_pass() {
+    let out = simlint(&["--root", "/nonexistent/simlint-no-such-dir"]);
+    assert_eq!(out.status.code(), Some(2));
+}

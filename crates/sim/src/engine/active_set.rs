@@ -22,6 +22,8 @@
 //! rewritten when `v` runs, at which point its old queue entry has already
 //! been consumed — so every queue entry is live and unique, and all entries
 //! in one ring slot share one absolute round.)
+//!
+//! simlint: hot-path
 
 use std::collections::BTreeMap;
 
@@ -65,16 +67,18 @@ impl ActiveSet {
     /// Creates the scheduler for `n` nodes, all awake in round 0 (the
     /// initialization round of the model).
     pub(crate) fn new(n: usize) -> Self {
+        // simlint::allow(hot-path-alloc: one-time construction; steady-state rounds only recycle these buckets)
         let mut ring = vec![Vec::new(); WINDOW as usize];
+        // simlint::allow(hot-path-alloc: one-time construction of the round-0 bucket)
         ring[0] = (0..n as u32).map(NodeId).collect();
         ActiveSet {
-            wake_at: vec![0; n],
-            halted: vec![false; n],
+            wake_at: vec![0; n],    // simlint::allow(hot-path-alloc: per-run setup)
+            halted: vec![false; n], // simlint::allow(hot-path-alloc: per-run setup)
             halted_count: 0,
             ring,
             overflow: BTreeMap::new(),
-            spare: Vec::new(),
-            down: vec![false; n],
+            spare: Vec::new(),    // simlint::allow(hot-path-alloc: per-run setup)
+            down: vec![false; n], // simlint::allow(hot-path-alloc: per-run setup)
             faulty: false,
         }
     }

@@ -9,6 +9,8 @@
 //! `O(n)` — and since [`Message`] carries its payload inline and is `Copy`,
 //! the placement pass is a flat move with **zero per-message allocations**
 //! once the arena's capacity has warmed up.
+//!
+//! simlint: hot-path
 
 use congest_graph::{EdgeId, NodeId};
 
@@ -52,11 +54,11 @@ impl DeliveryArena {
     /// Creates an empty arena covering the node-id range `[lo, hi)`.
     pub(crate) fn new_range(lo: usize, hi: usize) -> Self {
         DeliveryArena {
-            msgs: Vec::new(),
-            start: vec![0; hi - lo],
-            len: vec![0; hi - lo],
-            cursor: vec![0; hi - lo],
-            touched: Vec::new(),
+            msgs: Vec::new(), // simlint::allow(hot-path-alloc: one-time construction; rounds reuse the arena)
+            start: vec![0; hi - lo], // simlint::allow(hot-path-alloc: per-run setup)
+            len: vec![0; hi - lo], // simlint::allow(hot-path-alloc: per-run setup)
+            cursor: vec![0; hi - lo], // simlint::allow(hot-path-alloc: per-run setup)
+            touched: Vec::new(), // simlint::allow(hot-path-alloc: per-run setup)
             base: lo as u32,
         }
     }

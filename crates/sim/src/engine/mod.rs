@@ -322,15 +322,15 @@ impl<'g> Engine<'g> {
             }
 
             if let Some(t) = trace.as_mut() {
-                // Coalesce duplicate edges in this round's trace entry.
-                let mut merged: std::collections::HashMap<EdgeId, u32> =
-                    std::collections::HashMap::new();
+                // Coalesce duplicate edges in this round's trace entry; the
+                // BTreeMap iterates in edge order, so the entry comes out
+                // sorted with no hasher order anywhere near the trace.
+                let mut merged: std::collections::BTreeMap<EdgeId, u32> =
+                    std::collections::BTreeMap::new();
                 for &(e, c) in &this_round_trace {
                     *merged.entry(e).or_insert(0) += c;
                 }
-                let mut entry: Vec<_> = merged.into_iter().collect();
-                entry.sort_by_key(|&(e, _)| e);
-                t.rounds.push(entry);
+                t.rounds.push(merged.into_iter().collect());
             }
 
             // Termination check: all halted and nothing in flight. Whatever

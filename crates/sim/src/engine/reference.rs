@@ -9,7 +9,7 @@
 //! proptest harness in `tests/engine_equivalence.rs` and the E11 throughput
 //! experiment both enforce this.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use congest_graph::{EdgeId, NodeId};
 
@@ -119,6 +119,7 @@ impl Engine<'_> {
 
             // Run awake nodes.
             let mut this_round_trace: Vec<(EdgeId, u32)> = Vec::new();
+            // simlint::allow(nondeterministic-iteration: per-round capacity counter probed through entry() only and dropped at round end; nothing ever iterates it)
             let mut edge_round_count: HashMap<(EdgeId, NodeId), u32> = HashMap::new();
             let mut any_awake = false;
             for v in graph.nodes() {
@@ -194,14 +195,13 @@ impl Engine<'_> {
             }
 
             if let Some(t) = trace.as_mut() {
-                // Coalesce duplicate edges in this round's trace entry.
-                let mut merged: HashMap<EdgeId, u32> = HashMap::new();
+                // Coalesce duplicate edges in this round's trace entry; the
+                // BTreeMap iterates in edge order, matching the active engine.
+                let mut merged: BTreeMap<EdgeId, u32> = BTreeMap::new();
                 for (e, c) in this_round_trace {
                     *merged.entry(e).or_insert(0) += c;
                 }
-                let mut entry: Vec<_> = merged.into_iter().collect();
-                entry.sort_by_key(|&(e, _)| e);
-                t.rounds.push(entry);
+                t.rounds.push(merged.into_iter().collect());
             }
 
             // Termination check: all halted and nothing in flight. Whatever

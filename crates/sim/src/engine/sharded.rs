@@ -15,6 +15,8 @@
 //! thread writes only while the workers are parked, and one uncontended
 //! mutex per shard. The hot path — a worker sweeping its slice — takes no
 //! locks beyond those two once-per-round acquisitions.
+//!
+//! simlint: hot-path
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -99,6 +101,7 @@ where
 
     // States are created in id order, exactly as the sequential path does,
     // then split into per-shard slices (concatenation restores them).
+    // simlint::allow(hot-path-alloc: one-time per-run setup before the round loop)
     let mut all_states: Vec<P> = graph.nodes().map(&mut factory).collect();
     let mut shards: Vec<Mutex<Shard<P>>> = Vec::with_capacity(shard_count);
     for s in (0..shard_count).rev() {
@@ -110,10 +113,10 @@ where
             lo: lo as u32,
             hi: hi as u32,
             states,
-            energy: vec![0; hi - lo],
+            energy: vec![0; hi - lo], // simlint::allow(hot-path-alloc: per-run shard setup)
             arena: DeliveryArena::new_range(lo, hi),
-            outbox: Vec::new(),
-            decisions: Vec::new(),
+            outbox: Vec::new(), // simlint::allow(hot-path-alloc: per-run shard setup)
+            decisions: Vec::new(), // simlint::allow(hot-path-alloc: per-run shard setup)
             lost: 0,
             crashed_hits: 0,
             panic: None,
@@ -128,9 +131,9 @@ where
     }
     let shared = RwLock::new(Shared {
         round: 0,
-        incoming: Vec::new(),
-        awake: Vec::new(),
-        bounds: vec![0; shard_count + 1],
+        incoming: Vec::new(), // simlint::allow(hot-path-alloc: per-run setup; reused as the in-flight double buffer)
+        awake: Vec::new(), // simlint::allow(hot-path-alloc: per-run setup; refilled in place each round)
+        bounds: vec![0; shard_count + 1], // simlint::allow(hot-path-alloc: per-run setup; rewritten in place)
         active,
         faults,
     });
@@ -259,8 +262,8 @@ where
     let mut trace = if config.record_edge_trace { Some(EdgeUsageTrace::default()) } else { None };
     // This round's merged sends; swapped into `Shared::incoming` at round end
     // (the same double-buffering as the sequential path, across the lock).
-    let mut outgoing: Vec<InFlight> = Vec::new();
-    let mut this_round_trace: Vec<(EdgeId, u32)> = Vec::new();
+    let mut outgoing: Vec<InFlight> = Vec::new(); // simlint::allow(hot-path-alloc: per-run setup; reused every round)
+    let mut this_round_trace: Vec<(EdgeId, u32)> = Vec::new(); // simlint::allow(hot-path-alloc: per-run setup; cleared in place)
     let mut round: u64 = 0;
     let max_words = config.effective_max_words();
 
@@ -414,15 +417,15 @@ where
         }
 
         if let Some(t) = trace.as_mut() {
-            // Coalesce duplicate edges in this round's trace entry.
-            let mut merged: std::collections::HashMap<EdgeId, u32> =
-                std::collections::HashMap::new();
+            // Coalesce duplicate edges in this round's trace entry; the
+            // BTreeMap iterates in edge order, matching the sequential path.
+            let mut merged: std::collections::BTreeMap<EdgeId, u32> =
+                std::collections::BTreeMap::new();
             for &(e, c) in &this_round_trace {
                 *merged.entry(e).or_insert(0) += c;
             }
-            let mut entry: Vec<_> = merged.into_iter().collect();
-            entry.sort_by_key(|&(e, _)| e);
-            t.rounds.push(entry);
+            // simlint::allow(hot-path-alloc: trace recording is a diagnostic mode; the alloc gate runs untraced)
+            t.rounds.push(merged.into_iter().collect());
         }
 
         // Termination check: all halted and nothing in flight.
@@ -457,7 +460,7 @@ where
             if let Some(w) = target.filter(|&w| w > round) {
                 if let Some(t) = trace.as_mut() {
                     for _ in round + 1..w {
-                        t.rounds.push(Vec::new());
+                        t.rounds.push(Vec::new()); // simlint::allow(hot-path-alloc: trace mode only, and an empty Vec::new never touches the heap)
                     }
                 }
                 round = w;

@@ -23,6 +23,8 @@
 //! `strict_capacity` (the default), or a counted violation with the payload
 //! truncated to the inline capacity in lenient mode. Truncation is identical
 //! in both engines, so differential harnesses stay bit-exact.
+//!
+//! simlint: hot-path
 
 use std::fmt;
 use std::ops::Deref;

@@ -223,7 +223,7 @@ impl EdgeUsageTrace {
     /// The maximum number of messages any single edge carries over the whole
     /// trace (the instance's congestion).
     pub fn max_edge_total(&self) -> u64 {
-        let mut totals = std::collections::HashMap::new();
+        let mut totals = std::collections::BTreeMap::new();
         for round in &self.rounds {
             for &(e, c) in round {
                 *totals.entry(e).or_insert(0u64) += c as u64;

@@ -2,14 +2,14 @@
 //! event-driven scheduler (mirroring `Engine::run_reference`).
 //!
 //! [`schedule_reference`] replays the superimposed traces one scheduler round
-//! at a time through a `HashMap` backlog — `O(horizon × instances)` work plus
-//! hashing, which is exactly the cost profile the event-driven
+//! at a time through a `BTreeMap` backlog — `O(horizon × instances)` work plus
+//! map overhead, which is exactly the cost profile the event-driven
 //! [`super::ScheduleBuilder`] replaces. It stays because its semantics are
 //! easy to audit line by line; the differential harness
 //! (`crates/sim/tests/scheduler_equivalence.rs`) asserts both produce
 //! identical [`ScheduleOutcome`]s on random and adversarial inputs.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use congest_graph::EdgeId;
 
@@ -38,7 +38,7 @@ pub fn schedule_reference(
         traces.iter().zip(delays).map(|(t, &d)| t.len() as u64 + d).max().unwrap_or(0);
 
     // Congestion: total load per edge across all instances.
-    let mut per_edge_total: HashMap<EdgeId, u64> = HashMap::new();
+    let mut per_edge_total: BTreeMap<EdgeId, u64> = BTreeMap::new();
     for t in traces {
         for round in &t.rounds {
             for &(e, c) in round {
@@ -64,7 +64,7 @@ pub fn schedule_reference(
         };
     }
 
-    let mut backlog: HashMap<EdgeId, u64> = HashMap::new();
+    let mut backlog: BTreeMap<EdgeId, u64> = BTreeMap::new();
     let mut max_backlog = 0u64;
     let mut last_service_round = 0u64;
     let mut round = 0u64;

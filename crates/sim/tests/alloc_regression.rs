@@ -28,22 +28,33 @@ static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
 // SAFETY: delegates verbatim to `System`; the counter is a relaxed atomic.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: same contract as `System::alloc`, to which this delegates.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // simlint::allow(relaxed-ordering: monotone test-only counter; snapshots need no ordering with other memory)
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwards the caller's `Layout` contract unchanged.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: same contract as `System::alloc_zeroed`.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        // simlint::allow(relaxed-ordering: monotone test-only counter; snapshots need no ordering with other memory)
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwards the caller's `Layout` contract unchanged.
         unsafe { System.alloc_zeroed(layout) }
     }
 
+    // SAFETY: same contract as `System::realloc`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // simlint::allow(relaxed-ordering: monotone test-only counter; snapshots need no ordering with other memory)
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwards the caller's pointer/layout contract unchanged.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
+    // SAFETY: same contract as `System::dealloc`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: forwards the caller's pointer/layout contract unchanged.
         unsafe { System.dealloc(ptr, layout) }
     }
 }
@@ -77,6 +88,7 @@ impl Protocol for ProbedFlood {
 
     fn on_round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[Message]) {
         if ctx.node_id() == NodeId(0) {
+            // simlint::allow(relaxed-ordering: the counter is monotone and single-purpose; an exact-at-a-boundary read is not required)
             self.snapshots.push((ctx.round(), ALLOCATIONS.load(Ordering::Relaxed)));
         }
         for msg in inbox {

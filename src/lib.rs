@@ -31,6 +31,8 @@
 //! multi-source / sleeping-model / approximate / all-pairs / thresholded)
 //! for generic iteration.
 
+#![forbid(unsafe_code)]
+
 pub use congest_cover as cover;
 pub use congest_graph as graph;
 pub use congest_sim as sim;
