@@ -20,6 +20,8 @@
 //! cargo run --release -p congest-bench --bin experiments -- shard-json
 //! #   runs only E15 (shard scaling, wave-BFS at n = 10^6) and writes
 //! #   BENCH_shard.json
+//! cargo run --release -p congest-bench --bin experiments -- oracle-json
+//! #   runs only E16 (distance-oracle service) and writes BENCH_oracle.json
 //! ```
 //!
 //! `--threads N` sets the simulator worker-thread count (0 = the host's
@@ -41,8 +43,8 @@ use congest_bench::table::{render, TableRow};
 use congest_bench::{
     bench_out_path, e10_recursion, e11_engine_throughput, e12_apsp_throughput,
     e12_apsp_throughput_at, e13_message_throughput, e14_chaos_matrix, e15_shard_scaling_at,
-    e1_e3_sssp_comparison, e4_cutter, e5_energy_bfs, e6_energy_cssp, e7_apsp, e8_cover_quality,
-    e9_spanning_forest, json::array, Scale,
+    e16_oracle, e1_e3_sssp_comparison, e4_cutter, e5_energy_bfs, e6_energy_cssp, e7_apsp,
+    e8_cover_quality, e9_spanning_forest, json::array, Scale,
 };
 use congest_sssp::registry;
 
@@ -316,6 +318,55 @@ fn main() {
         return;
     }
 
+    if args.iter().any(|a| a == "oracle-json") {
+        // CI mode: only the distance-oracle experiment, plus its artifact.
+        // The artifact is written before the assertions so a regression
+        // still leaves the measurements behind for inspection.
+        println!("# Experiment tables (oracle gate, {scale:?} scale)");
+        let e16 = e16_oracle(scale);
+        print_section("E16: distance-oracle service (sparse covers)", &e16);
+        write_artifact(
+            "BENCH_oracle.json",
+            format!(
+                "{{\"experiment\": \"e16_oracle\", \"scale\": \"{scale:?}\", \"rows\": {}}}",
+                array(&e16)
+            ),
+        );
+        // Bar 1 — the gate must exercise the cover hierarchy, and there the
+        // oracle must occupy less memory than the exact n x n matrix.
+        assert!(
+            e16.iter().any(|r| !r.fallback),
+            "oracle gate regression: no row exercised the cover hierarchy"
+        );
+        for row in e16.iter().filter(|r| !r.fallback) {
+            assert!(
+                row.bytes < row.exact_matrix_bytes,
+                "oracle space regression at n = {}: {} bytes >= exact {} bytes",
+                row.n,
+                row.bytes,
+                row.exact_matrix_bytes
+            );
+        }
+        // Bar 2 — every sampled pair's observed stretch stays within the
+        // proven bound (and the fallback rows are exact: bound 1).
+        for row in &e16 {
+            assert!(
+                row.max_observed_stretch <= row.stretch_bound as f64,
+                "oracle stretch regression at n = {}: observed {:.2} > proven {}",
+                row.n,
+                row.max_observed_stretch,
+                row.stretch_bound
+            );
+        }
+        // Bar 3 — bit-identical replay at every query-thread count: batch
+        // sharding is an execution strategy, not a semantic knob.
+        assert!(
+            e16.iter().all(|r| r.threads_agree),
+            "oracle determinism regression: a thread count diverged; see the table above"
+        );
+        return;
+    }
+
     if args.iter().any(|a| a == "apsp-json") {
         // CI mode: only the APSP-throughput experiment at the acceptance
         // size, plus its artifact. The gate fails loudly on a result mismatch
@@ -391,6 +442,8 @@ fn main() {
     print_section("E13: message throughput (zero-allocation fabric vs reference delivery)", &e13);
     let e14 = e14_chaos_matrix(scale);
     print_section("E14: chaos degradation matrix (fault injection)", &e14);
+    let e16 = e16_oracle(scale);
+    print_section("E16: distance-oracle service (sparse covers)", &e16);
 
     if json {
         use congest_bench::json::object;
@@ -408,6 +461,7 @@ fn main() {
             ("e12", array(&e12)),
             ("e13", array(&e13)),
             ("e14", array(&e14)),
+            ("e16", array(&e16)),
         ]);
         println!("\n## JSON\n");
         println!("{dump}");

@@ -5,13 +5,15 @@
 //! of numbers and short labels, so a tiny emitter covers the `experiments
 //! -- full json` dump without it.
 
+use congest_cover::CoverStats;
 use congest_sssp::{
-    Algorithm, AlgorithmInfo, RecursionReport, RunReport, ScheduleReport, SleepingReport,
+    Algorithm, AlgorithmInfo, OracleReport, RecursionReport, RunReport, ScheduleReport,
+    SleepingReport,
 };
 
 use crate::{
-    ApspRow, ApspThroughputRow, ChaosRow, CoverRow, CutterRow, EnergyRow, ForestRow, RecursionRow,
-    ShardScalingRow, SsspRow, ThroughputRow,
+    ApspRow, ApspThroughputRow, ChaosRow, CoverRow, CutterRow, EnergyRow, ForestRow, OracleRow,
+    RecursionRow, ShardScalingRow, SsspRow, ThroughputRow,
 };
 
 /// Types that can render themselves as a JSON value.
@@ -78,6 +80,12 @@ impl<T: ToJson> ToJson for Option<T> {
     }
 }
 
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> String {
+        array(self)
+    }
+}
+
 impl ToJson for Algorithm {
     fn to_json(&self) -> String {
         self.name().to_json()
@@ -110,12 +118,12 @@ macro_rules! impl_row_json {
 impl_row_json! {
     AlgorithmInfo {
         name, label, summary, weighted, multi_source, sleeping_model, approximate, all_pairs,
-        thresholded,
+        thresholded, queryable,
     }
     RunReport {
         algorithm, n, m, rounds, messages, messages_lost, fault_drops, fault_delays, crashes,
         restarts, max_congestion, max_energy, mean_energy, reached, error_bound, sleeping,
-        recursion, schedule,
+        recursion, schedule, oracle,
     }
     SleepingReport { slowdown, megaround, cover_levels }
     RecursionReport { levels, subproblems, max_participation, total_subproblem_size }
@@ -147,6 +155,19 @@ impl_row_json! {
     ChaosRow {
         algorithm, loss_ppm, outcome, graceful, deterministic, matches_baseline, rounds,
         baseline_rounds, round_budget, reached, unreached, max_abs_error, fault_drops, sleep_lost,
+    }
+    OracleReport {
+        fallback, levels, clusters, bytes, exact_matrix_bytes, stretch_bound, max_membership,
+        max_tree_depth, level_stats,
+    }
+    CoverStats {
+        d, cluster_count, colors, max_membership, mean_membership, max_tree_depth,
+        max_edge_tree_load,
+    }
+    OracleRow {
+        workload, n, m, fallback, levels, clusters, bytes, exact_matrix_bytes, space_ratio,
+        stretch_bound, max_observed_stretch, preprocess_rounds, queries, queries_per_sec,
+        threads_agree,
     }
 }
 

@@ -14,12 +14,12 @@ pub mod json;
 pub mod table;
 
 use congest_cover::sparse_cover::SparseCover;
-use congest_graph::{generators, properties, Graph, NodeId};
+use congest_graph::{generators, properties, Distance, Graph, NodeId};
 use congest_sssp::apsp::{apsp, apsp_reference, planned_threads, ApspConfig};
 use congest_sssp::spanning_forest::spanning_forest;
 use congest_sssp::{
-    registry, AlgoConfig, AlgoError, Algorithm, AlgorithmInfo, FaultPlan, RecursionReport,
-    RunReport, ScheduleReport, SleepingReport, Solver, SolverRun,
+    build_oracle, registry, AlgoConfig, AlgoError, Algorithm, AlgorithmInfo, FaultPlan,
+    OracleConfig, RecursionReport, RunReport, ScheduleReport, SleepingReport, Solver, SolverRun,
 };
 use serde::{Deserialize, Serialize};
 
@@ -1085,6 +1085,150 @@ pub fn e15_shard_scaling_at(
     rows
 }
 
+// ---------------------------------------------------------------------------
+// E16: the distance-oracle query service
+// ---------------------------------------------------------------------------
+
+/// One measurement row of the distance-oracle experiment (E16): one graph,
+/// one built oracle, and one seeded batch of random point-to-point queries
+/// replayed at several query-thread counts.
+///
+/// The row records the service's three contracts: space (oracle bytes vs the
+/// exact `n²` matrix), accuracy (largest observed stretch vs the proven
+/// bound), and determinism (every thread count answers the batch
+/// bit-identically, [`OracleRow::threads_agree`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OracleRow {
+    /// Workload label.
+    pub workload: String,
+    /// Number of nodes.
+    pub n: u32,
+    /// Number of edges.
+    pub m: u32,
+    /// Whether construction took the exact-APSP fallback (small graphs).
+    pub fallback: bool,
+    /// Cover levels built (0 on the fallback).
+    pub levels: u32,
+    /// Total clusters across all levels.
+    pub clusters: u64,
+    /// Resident bytes of the oracle's query structure.
+    pub bytes: u64,
+    /// Bytes an exact `n × n` matrix would occupy.
+    pub exact_matrix_bytes: u64,
+    /// `bytes / exact_matrix_bytes` — below 1.0 means sublinear space won.
+    pub space_ratio: f64,
+    /// Proven multiplicative stretch bound (1 on the fallback).
+    pub stretch_bound: u64,
+    /// Largest observed `estimate / true-distance` over the sampled pairs.
+    pub max_observed_stretch: f64,
+    /// Simulated rounds of preprocessing.
+    pub preprocess_rounds: u64,
+    /// Number of sampled query pairs in the batch.
+    pub queries: u64,
+    /// Queries answered per wall-clock second (best over the thread sweep).
+    pub queries_per_sec: f64,
+    /// Whether every thread count produced the bit-identical answer vector.
+    pub threads_agree: bool,
+}
+
+/// A deterministic 64-bit LCG step (same constants as `rand`'s reference
+/// mixer) — the query batch must be seeded, not time-derived.
+fn lcg(state: &mut u64) -> u64 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *state >> 11
+}
+
+/// Measures the distance-oracle service (E16) at the scale's standard sizes:
+/// one size below the exact-APSP fallback threshold and at least one above
+/// it, so both backends are exercised.
+pub fn e16_oracle(scale: Scale) -> Vec<OracleRow> {
+    match scale {
+        Scale::Quick => e16_oracle_at(&[48, 160], 1_500, &[1, 2, 4]),
+        Scale::Full => e16_oracle_at(&[48, 256, 384], 20_000, &[1, 2, 4]),
+    }
+}
+
+/// Measures the distance-oracle service (E16) at explicit sizes: builds one
+/// oracle per graph through [`build_oracle`] (default fallback threshold),
+/// answers a seeded random batch once per entry of `thread_counts`, and
+/// checks every replay against the first. Observed stretch is judged against
+/// exact Dijkstra truth from each sampled source. Used by the
+/// `experiments -- oracle-json` CI gate.
+pub fn e16_oracle_at(sizes: &[u32], query_count: usize, thread_counts: &[usize]) -> Vec<OracleRow> {
+    use congest_graph::sequential;
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let g = weighted_workload(n, 23);
+        let build = build_oracle(
+            &g,
+            &AlgoConfig::default(),
+            &OracleConfig::default(),
+            &ApspConfig::default(),
+        )
+        .expect("oracle build");
+        let mut state = 0x0E16_5EED_u64 ^ ((n as u64) << 32);
+        let pairs: Vec<(NodeId, NodeId)> = (0..query_count)
+            .map(|_| {
+                (
+                    NodeId((lcg(&mut state) % n as u64) as u32),
+                    NodeId((lcg(&mut state) % n as u64) as u32),
+                )
+            })
+            .collect();
+        let mut out = vec![Distance::Infinite; pairs.len()];
+        let mut baseline: Option<Vec<Distance>> = None;
+        let mut best = f64::INFINITY;
+        let mut threads_agree = true;
+        for &threads in thread_counts {
+            let start = std::time::Instant::now();
+            build.oracle.query_into(&pairs, &mut out, threads);
+            best = best.min(start.elapsed().as_secs_f64());
+            match &baseline {
+                None => baseline = Some(out.clone()),
+                Some(b) => threads_agree &= *b == out,
+            }
+        }
+        let answers = baseline.expect("at least one thread count");
+        // Exact truth per distinct sampled source (at most n Dijkstra runs).
+        let mut truth: Vec<Option<Vec<Distance>>> = vec![None; n as usize];
+        let mut max_observed_stretch = 1.0_f64;
+        for (&(u, v), est) in pairs.iter().zip(&answers) {
+            let row =
+                truth[u.index()].get_or_insert_with(|| sequential::dijkstra(&g, &[u]).distances);
+            match (est.finite(), row[v.index()].finite()) {
+                (Some(e), Some(t)) => {
+                    assert!(t <= e, "oracle underestimated ({u},{v}): {e} < {t}");
+                    max_observed_stretch = max_observed_stretch.max(e as f64 / t.max(1) as f64);
+                }
+                (e, t) => assert_eq!(
+                    e.is_some(),
+                    t.is_some(),
+                    "oracle and truth disagree on reachability of ({u},{v})"
+                ),
+            }
+        }
+        let report = &build.report;
+        rows.push(OracleRow {
+            workload: "random-weighted".into(),
+            n: g.node_count(),
+            m: g.edge_count(),
+            fallback: report.fallback,
+            levels: report.levels,
+            clusters: report.clusters,
+            bytes: report.bytes,
+            exact_matrix_bytes: report.exact_matrix_bytes,
+            space_ratio: report.bytes as f64 / report.exact_matrix_bytes.max(1) as f64,
+            stretch_bound: report.stretch_bound,
+            max_observed_stretch,
+            preprocess_rounds: build.rounds,
+            queries: pairs.len() as u64,
+            queries_per_sec: pairs.len() as f64 / best.max(1e-9),
+            threads_agree,
+        });
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1204,6 +1348,32 @@ mod tests {
                 assert_eq!(row.rounds, row.baseline_rounds);
                 assert_eq!(row.fault_drops, 0);
             }
+        }
+    }
+
+    #[test]
+    fn e16_oracle_exercises_both_backends_within_bounds() {
+        // Functional checks only: the queries/sec figure is recorded (not
+        // gated) and the space/stretch/determinism bars are re-asserted by
+        // the release-mode `experiments -- oracle-json` CI gate; this
+        // debug-mode test pins them at a reduced batch size.
+        let rows = e16_oracle_at(&[48, 160], 400, &[1, 2, 4]);
+        assert_eq!(rows.len(), 2);
+        let [small, large] = &rows[..] else { unreachable!() };
+        assert!(small.fallback, "n = 48 takes the exact-APSP fallback");
+        assert_eq!(small.stretch_bound, 1);
+        assert!(!large.fallback && large.levels > 0, "n = 160 builds the cover hierarchy");
+        assert!(large.bytes < large.exact_matrix_bytes, "sublinear space at the gate size");
+        assert!(large.space_ratio < 1.0);
+        for r in &rows {
+            assert!(r.threads_agree, "query batches must replay bit-identically");
+            assert!(
+                r.max_observed_stretch <= r.stretch_bound as f64,
+                "observed stretch {} exceeds the proven bound {}",
+                r.max_observed_stretch,
+                r.stretch_bound
+            );
+            assert!(r.queries_per_sec > 0.0 && r.preprocess_rounds > 0);
         }
     }
 

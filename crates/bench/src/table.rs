@@ -12,8 +12,8 @@ use std::fmt::Write as _;
 use congest_sssp::{AlgorithmInfo, RunReport, SleepingReport};
 
 use crate::{
-    ApspRow, ApspThroughputRow, ChaosRow, CoverRow, CutterRow, EnergyRow, ForestRow, RecursionRow,
-    ShardScalingRow, SsspRow, ThroughputRow,
+    ApspRow, ApspThroughputRow, ChaosRow, CoverRow, CutterRow, EnergyRow, ForestRow, OracleRow,
+    RecursionRow, ShardScalingRow, SsspRow, ThroughputRow,
 };
 
 /// One table column: header text plus whether its cells are right-aligned
@@ -434,6 +434,7 @@ impl TableRow for AlgorithmInfo {
             num("approximate"),
             num("all-pairs"),
             num("thresholded"),
+            num("queryable"),
             text("summary"),
         ]
     }
@@ -448,7 +449,48 @@ impl TableRow for AlgorithmInfo {
             self.approximate.to_string(),
             self.all_pairs.to_string(),
             self.thresholded.to_string(),
+            self.queryable.to_string(),
             self.summary.to_string(),
+        ]
+    }
+}
+
+impl TableRow for OracleRow {
+    fn columns() -> Vec<Column> {
+        vec![
+            num("n"),
+            num("m"),
+            num("fallback"),
+            num("levels"),
+            num("clusters"),
+            num("bytes"),
+            num("exact bytes"),
+            num("space ratio"),
+            num("stretch bound"),
+            num("observed stretch"),
+            num("preprocess rounds"),
+            num("queries"),
+            num("queries/s"),
+            num("threads agree"),
+        ]
+    }
+
+    fn cells(&self) -> Vec<String> {
+        vec![
+            self.n.to_string(),
+            self.m.to_string(),
+            self.fallback.to_string(),
+            self.levels.to_string(),
+            self.clusters.to_string(),
+            self.bytes.to_string(),
+            self.exact_matrix_bytes.to_string(),
+            format!("{:.3}", self.space_ratio),
+            self.stretch_bound.to_string(),
+            format!("{:.2}", self.max_observed_stretch),
+            self.preprocess_rounds.to_string(),
+            self.queries.to_string(),
+            format!("{:.3e}", self.queries_per_sec),
+            self.threads_agree.to_string(),
         ]
     }
 }
@@ -476,6 +518,20 @@ mod tests {
         assert_eq!(SsspRow::columns().len(), rows[0].cells().len());
         let rows = crate::e7_apsp(crate::Scale::Quick);
         assert_eq!(ApspRow::columns().len(), rows[0].cells().len());
+    }
+
+    #[test]
+    fn registry_table_prints_the_queryable_flag() {
+        // The `list-algorithms` CI step renders exactly this table; the new
+        // capability column and the oracle's row must both appear in it.
+        let table = render(registry());
+        let header = table.lines().next().expect("header line");
+        assert!(header.contains("queryable"), "got {header}");
+        let oracle = table
+            .lines()
+            .find(|l| l.contains("distance-oracle"))
+            .expect("distance-oracle row present");
+        assert!(oracle.contains("true"), "queryable flag renders: {oracle}");
     }
 
     #[test]

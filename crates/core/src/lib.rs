@@ -71,6 +71,7 @@ mod config;
 pub mod cssp;
 pub mod energy;
 mod error;
+pub mod oracle;
 mod result;
 pub mod solver;
 pub mod spanning_forest;
@@ -79,9 +80,10 @@ pub mod weighted_bfs;
 
 pub use config::AlgoConfig;
 pub use error::AlgoError;
+pub use oracle::{build_oracle, DistanceOracle, OracleBuild, OracleConfig, OracleStats};
 pub use result::{
-    AlgoRun, DistanceOutput, RecursionReport, RunReport, ScheduleReport, SleepingReport,
-    SourceOffset,
+    AlgoRun, DistanceOutput, OracleReport, RecursionReport, RunReport, ScheduleReport,
+    SleepingReport, SourceOffset,
 };
 pub use solver::{registry, Algorithm, AlgorithmInfo, Solver, SolverRequest, SolverRun};
 

@@ -1,0 +1,207 @@
+//! Builds the sparse-cover distance oracle of `congest_oracle` on top of this
+//! crate's solver facade.
+//!
+//! Preprocessing runs a geometric sequence of sparse covers (radius `d = 1,
+//! 2, 4, …`) and, for every cluster, one ordinary [`Algorithm::Cssp`] run
+//! from the cluster center on the cluster's induced subgraph — the oracle
+//! reuses the registry's solvers rather than carrying a private shortest-path
+//! implementation, so its preprocessing cost is measured in the same
+//! rounds/messages/congestion currency as every other algorithm. Graphs at or
+//! below [`OracleConfig::fallback_threshold`] nodes skip the hierarchy and
+//! materialize exact APSP through the registry's own random-delay
+//! composition.
+//!
+//! The level loop stops as soon as one cover's clusters contain whole
+//! connected components ([`SparseCover::is_component_cover`]): at that level
+//! every connected pair already shares a cluster, so larger radii add space
+//! without adding answers.
+
+use std::collections::BTreeSet;
+
+use congest_cover::{geometric_levels, CoverStats, SparseCover};
+use congest_graph::{Distance, Graph, NodeId};
+
+pub use congest_oracle::{DistanceOracle, LevelBuilder, OracleConfig, OracleLevel, OracleStats};
+
+use crate::apsp::{apsp, ApspConfig};
+use crate::result::OracleReport;
+use crate::solver::{Algorithm, Solver};
+use crate::{AlgoConfig, AlgoError};
+
+/// A built [`DistanceOracle`] together with the measured cost of building it
+/// and the construction report the facade embeds into its
+/// [`crate::RunReport`].
+#[derive(Debug, Clone)]
+pub struct OracleBuild {
+    /// The query-ready oracle.
+    pub oracle: DistanceOracle,
+    /// Total simulated rounds of preprocessing (summed over the per-cluster
+    /// SSSP runs, or the APSP schedule's model rounds on the fallback).
+    pub rounds: u64,
+    /// Total messages of preprocessing.
+    pub messages: u64,
+    /// Maximum per-edge congestion of any single preprocessing run.
+    pub max_congestion: u64,
+    /// Space/stretch accounting plus validated per-level cover statistics.
+    pub report: OracleReport,
+}
+
+/// Builds a [`DistanceOracle`] for `g`.
+///
+/// # Errors
+///
+/// Whatever the underlying [`Algorithm::Cssp`] / APSP runs report (zero
+/// weights, simulation failures); the cover construction itself is
+/// deterministic and infallible.
+pub fn build_oracle(
+    g: &Graph,
+    config: &AlgoConfig,
+    oracle_config: &OracleConfig,
+    apsp_config: &ApspConfig,
+) -> Result<OracleBuild, AlgoError> {
+    let n = g.node_count();
+    if n <= oracle_config.fallback_threshold {
+        let run = apsp(g, config, apsp_config)?;
+        let rounds = run.schedule.model_rounds;
+        let max_congestion = run.schedule.congestion;
+        let messages = run.total_messages;
+        let oracle = DistanceOracle::exact(n, run.distances);
+        let report = report_of(&oracle, Vec::new());
+        return Ok(OracleBuild { oracle, rounds, messages, max_congestion, report });
+    }
+
+    let mut levels = Vec::new();
+    let mut level_stats = Vec::new();
+    let mut rounds = 0u64;
+    let mut messages = 0u64;
+    let mut max_congestion = 0u64;
+    for d in geometric_levels(u64::from(n.saturating_sub(1)).max(1)) {
+        let cover = SparseCover::construct(g, d);
+        let stats = cover.validate(g).expect("constructed cover validates");
+        let mut builder = LevelBuilder::new(n, d);
+        for cluster in &cover.clusters {
+            if cluster.members.len() == 1 {
+                builder.push_cluster(&cluster.members, &[Distance::ZERO]);
+                continue;
+            }
+            let keep: BTreeSet<NodeId> = cluster.members.iter().copied().collect();
+            let (sub, new_to_old) = g.induced_subgraph(&keep);
+            let center =
+                new_to_old.binary_search(&cluster.center).expect("cluster center is a member");
+            let run = Solver::on(&sub)
+                .algorithm(Algorithm::Cssp)
+                .source(NodeId(center as u32))
+                .config(config.clone())
+                .run()?;
+            rounds += run.report.rounds;
+            messages += run.report.messages;
+            max_congestion = max_congestion.max(run.report.max_congestion);
+            builder.push_cluster(&new_to_old, &run.output.distances);
+        }
+        levels.push(builder.finish());
+        level_stats.push(stats);
+        if cover.is_component_cover(g) {
+            break;
+        }
+    }
+
+    let oracle = DistanceOracle::from_levels(n, levels);
+    let report = report_of(&oracle, level_stats);
+    Ok(OracleBuild { oracle, rounds, messages, max_congestion, report })
+}
+
+fn report_of(oracle: &DistanceOracle, level_stats: Vec<CoverStats>) -> OracleReport {
+    let stats = oracle.stats();
+    OracleReport {
+        fallback: stats.fallback,
+        levels: stats.levels,
+        clusters: stats.clusters,
+        bytes: stats.bytes,
+        exact_matrix_bytes: stats.exact_matrix_bytes,
+        stretch_bound: stats.stretch_bound,
+        max_membership: stats.max_membership,
+        max_tree_depth: level_stats.iter().map(|s| s.max_tree_depth).max().unwrap_or(0),
+        level_stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_graph::{generators, sequential};
+
+    fn weighted(n: u32, seed: u64) -> Graph {
+        generators::with_random_weights(
+            &generators::random_connected(n, 2 * n as u64, seed),
+            9,
+            seed,
+        )
+    }
+
+    #[test]
+    fn fallback_oracle_is_exact() {
+        let g = weighted(20, 3);
+        let build = build_oracle(
+            &g,
+            &AlgoConfig::default(),
+            &OracleConfig::default(),
+            &ApspConfig::default(),
+        )
+        .unwrap();
+        assert!(build.oracle.is_exact());
+        assert!(build.report.fallback && build.report.level_stats.is_empty());
+        assert!(build.rounds > 0 && build.messages > 0);
+        let truth = sequential::all_pairs(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(build.oracle.query(u, v), truth[u.index()][v.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn cover_oracle_respects_its_stretch_bound() {
+        let g = weighted(30, 7);
+        let build = build_oracle(
+            &g,
+            &AlgoConfig::default(),
+            &OracleConfig::default().with_fallback_threshold(0),
+            &ApspConfig::default(),
+        )
+        .unwrap();
+        assert!(!build.oracle.is_exact());
+        let report = &build.report;
+        assert!(report.levels > 0 && report.levels as usize == report.level_stats.len());
+        assert!(report.stretch_bound >= 1);
+        assert!(build.rounds > 0 && build.messages > 0 && build.max_congestion > 0);
+        let truth = sequential::all_pairs(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                let est = build.oracle.query(u, v).expect_finite();
+                let t = truth[u.index()][v.index()].expect_finite();
+                assert!(t <= est, "({u},{v}): underestimate {est} < {t}");
+                assert!(
+                    est <= t * report.stretch_bound,
+                    "({u},{v}): {est} > {t} × {}",
+                    report.stretch_bound
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_pairs_are_infinite() {
+        // Two disjoint paths: the component-cover stop still terminates and
+        // cross-component queries answer Infinite.
+        let g = generators::disjoint_copies(&generators::path(4, 2), 2);
+        let build = build_oracle(
+            &g,
+            &AlgoConfig::default(),
+            &OracleConfig::default().with_fallback_threshold(0),
+            &ApspConfig::default(),
+        )
+        .unwrap();
+        assert!(build.oracle.query(NodeId(0), NodeId(7)).is_infinite());
+        assert!(build.oracle.query(NodeId(0), NodeId(3)).is_finite());
+    }
+}

@@ -1,6 +1,7 @@
 //! Result types shared by all algorithms in this crate, including the
 //! unified [`RunReport`] every [`crate::solver::Solver`] run produces.
 
+use congest_cover::CoverStats;
 use congest_graph::{Distance, Graph, NodeId};
 use congest_sim::{EdgeUsageTrace, Metrics};
 use serde::{Deserialize, Serialize};
@@ -107,6 +108,9 @@ pub struct RunReport {
     pub recursion: Option<RecursionReport>,
     /// Random-delay scheduling instrumentation (APSP only).
     pub schedule: Option<ScheduleReport>,
+    /// Distance-oracle construction instrumentation
+    /// ([`Algorithm::DistanceOracle`] only).
+    pub oracle: Option<OracleReport>,
 }
 
 impl RunReport {
@@ -137,8 +141,37 @@ impl RunReport {
             sleeping: None,
             recursion: None,
             schedule: None,
+            oracle: None,
         }
     }
+}
+
+/// Construction instrumentation of a distance-oracle run: the space/stretch
+/// accounting of the built oracle plus the validated quality statistics of
+/// every sparse-cover level it was assembled from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OracleReport {
+    /// Whether construction fell back to the exact all-pairs matrix
+    /// (graphs at or below the configured fallback threshold).
+    pub fallback: bool,
+    /// Number of cover levels (0 on the exact fallback).
+    pub levels: u32,
+    /// Total clusters across all levels.
+    pub clusters: u64,
+    /// Bytes of the oracle's distance storage.
+    pub bytes: u64,
+    /// Bytes an exact `n × n` distance matrix would occupy, for comparison.
+    pub exact_matrix_bytes: u64,
+    /// Proven multiplicative stretch bound of every query answer (1 on the
+    /// exact fallback).
+    pub stretch_bound: u64,
+    /// Maximum number of (level, cluster) memberships of any single node.
+    pub max_membership: u32,
+    /// Deepest cluster tree across all levels (0 on the exact fallback).
+    pub max_tree_depth: u64,
+    /// Validated per-level cover statistics, in level order (empty on the
+    /// exact fallback).
+    pub level_stats: Vec<CoverStats>,
 }
 
 /// Sleeping-model instrumentation of a low-energy run.

@@ -50,6 +50,7 @@ use crate::baseline::{distributed_bellman_ford, distributed_dijkstra};
 use crate::bfs::thresholded_bfs;
 use crate::cssp::cssp;
 use crate::energy::{low_energy_bfs, low_energy_cssp};
+use crate::oracle::{build_oracle, OracleConfig};
 use crate::result::{
     DistanceOutput, RecursionReport, RunReport, ScheduleReport, SleepingReport, SourceOffset,
 };
@@ -71,6 +72,7 @@ impl Solver {
             threshold: None,
             config: AlgoConfig::default(),
             apsp_config: ApspConfig::default(),
+            oracle_config: OracleConfig::default(),
         }
     }
 }
@@ -85,6 +87,7 @@ pub struct SolverRequest<'g> {
     threshold: Option<u64>,
     config: AlgoConfig,
     apsp_config: ApspConfig,
+    oracle_config: OracleConfig,
 }
 
 impl SolverRequest<'_> {
@@ -129,10 +132,18 @@ impl SolverRequest<'_> {
         self
     }
 
-    /// Sets the APSP scheduling configuration ([`Algorithm::Apsp`] only;
-    /// ignored by every other algorithm).
+    /// Sets the APSP scheduling configuration ([`Algorithm::Apsp`] and the
+    /// exact fallback of [`Algorithm::DistanceOracle`]; ignored by every
+    /// other algorithm).
     pub fn apsp_config(mut self, apsp_config: ApspConfig) -> Self {
         self.apsp_config = apsp_config;
+        self
+    }
+
+    /// Sets the oracle construction policy ([`Algorithm::DistanceOracle`]
+    /// only; ignored by every other algorithm).
+    pub fn oracle_config(mut self, oracle_config: OracleConfig) -> Self {
+        self.oracle_config = oracle_config;
         self
     }
 
@@ -279,8 +290,58 @@ impl SolverRequest<'_> {
                     sleeping: None,
                     recursion: None,
                     schedule: Some(schedule),
+                    oracle: None,
                 };
                 Ok(SolverRun { output, all_pairs: Some(run.distances), report, trace: None })
+            }
+            Algorithm::DistanceOracle => {
+                let source = nodes.first().copied().unwrap_or(NodeId(0));
+                if !g.contains_node(source) {
+                    return Err(AlgoError::SourceOutOfRange { node: source });
+                }
+                let build = build_oracle(g, &self.config, &self.oracle_config, &self.apsp_config)?;
+                // The reported row: one query per node from `source`. The
+                // oracle itself stays queryable for every other pair.
+                let distances: Vec<Distance> =
+                    g.nodes().map(|v| build.oracle.query(source, v)).collect();
+                let output = DistanceOutput { distances };
+                // Multiplicative stretch `est <= s·t` restated additively for
+                // the unified report: `t >= est/s`, so the additive error of
+                // any estimate is at most `est·(s-1)/s`, maximized over the
+                // reported row.
+                let s = build.report.stretch_bound.max(1) as u128;
+                let error_bound = output
+                    .distances
+                    .iter()
+                    .filter_map(|d| d.finite())
+                    .map(|est| ((est as u128 * (s - 1)).div_ceil(s)) as u64)
+                    .max()
+                    .unwrap_or(0);
+                // Like APSP, preprocessing composes many runs: per-node
+                // energy and sleeping-model loss are not tracked across them
+                // and report 0 (unmeasured).
+                let report = RunReport {
+                    algorithm: self.algorithm,
+                    n: g.node_count(),
+                    m: g.edge_count(),
+                    rounds: build.rounds,
+                    messages: build.messages,
+                    messages_lost: 0,
+                    fault_drops: 0,
+                    fault_delays: 0,
+                    crashes: 0,
+                    restarts: 0,
+                    max_congestion: build.max_congestion,
+                    max_energy: 0,
+                    mean_energy: 0.0,
+                    reached: output.reached_count() as u64,
+                    error_bound: Some(error_bound),
+                    sleeping: None,
+                    recursion: None,
+                    schedule: None,
+                    oracle: Some(build.report),
+                };
+                Ok(SolverRun { output, all_pairs: None, report, trace: None })
             }
         }
     }
@@ -431,6 +492,40 @@ mod tests {
         assert!(sched.makespan > 0 && sched.edge_budget > 0);
         assert!(sched.speedup() > 1.0);
         assert_eq!(run.report.rounds, sched.model_rounds);
+    }
+
+    #[test]
+    fn distance_oracle_reports_construction_and_respects_stretch() {
+        let g = weighted(20, 13);
+        let truth = sequential::dijkstra(&g, &[NodeId(2)]);
+        // n = 20 is at or below the default fallback threshold: the oracle is
+        // an exact matrix with stretch 1 and additive error 0.
+        let run =
+            Solver::on(&g).algorithm(Algorithm::DistanceOracle).source(NodeId(2)).run().unwrap();
+        let section = run.report.oracle.as_ref().expect("oracle section present");
+        assert!(section.fallback);
+        assert_eq!(section.stretch_bound, 1);
+        assert_eq!(run.report.error_bound, Some(0));
+        assert_eq!(run.output.distances, truth.distances);
+        assert!(run.all_pairs.is_none(), "queryable without materializing the matrix");
+
+        // Forcing the cover path keeps every estimate within the reported
+        // additive bound derived from the proven stretch.
+        let run = Solver::on(&g)
+            .algorithm(Algorithm::DistanceOracle)
+            .source(NodeId(2))
+            .oracle_config(OracleConfig::default().with_fallback_threshold(0))
+            .run()
+            .unwrap();
+        let section = run.report.oracle.as_ref().expect("oracle section present");
+        assert!(!section.fallback && section.levels > 0);
+        assert!(section.bytes > 0 && section.exact_matrix_bytes > 0);
+        let bound = run.report.error_bound.expect("error bound present");
+        for v in g.nodes() {
+            let est = run.distance(v).expect_finite();
+            let t = truth.distance(v).expect_finite();
+            assert!(t <= est && est <= t + bound, "node {v}: {est} vs {t} (+{bound})");
+        }
     }
 
     #[test]

@@ -32,6 +32,11 @@ pub enum Algorithm {
     /// APSP via `n` SSSP instances under random-delay scheduling
     /// (Section 1.1).
     Apsp,
+    /// The sparse-cover distance oracle (see `congest_oracle`): sublinear
+    /// space, every pair queryable with a proven stretch bound, exact APSP
+    /// below the fallback threshold. Answers all-pairs *queries* without
+    /// materializing the all-pairs *matrix*.
+    DistanceOracle,
 }
 
 /// Capability flags and identity of one registry entry.
@@ -58,6 +63,11 @@ pub struct AlgorithmInfo {
     pub all_pairs: bool,
     /// Accepts a distance/hop threshold and offset sources.
     pub thresholded: bool,
+    /// Serves point-to-point queries for *every* pair after one run (the
+    /// all-pairs matrix or a distance oracle). `all_pairs` additionally
+    /// means the full matrix is materialized; the distance oracle is
+    /// queryable without being all-pairs-materializing.
+    pub queryable: bool,
 }
 
 impl AlgorithmInfo {
@@ -68,7 +78,7 @@ impl AlgorithmInfo {
 }
 
 /// The registry: one entry per [`Algorithm`] variant, in display order.
-static REGISTRY: [AlgorithmInfo; 8] = [
+static REGISTRY: [AlgorithmInfo; 9] = [
     AlgorithmInfo {
         algorithm: Algorithm::Cssp,
         name: "recursive-cssp",
@@ -80,6 +90,7 @@ static REGISTRY: [AlgorithmInfo; 8] = [
         approximate: false,
         all_pairs: false,
         thresholded: true,
+        queryable: false,
     },
     AlgorithmInfo {
         algorithm: Algorithm::ApproximateCssp,
@@ -92,6 +103,7 @@ static REGISTRY: [AlgorithmInfo; 8] = [
         approximate: true,
         all_pairs: false,
         thresholded: true,
+        queryable: false,
     },
     AlgorithmInfo {
         algorithm: Algorithm::Bfs,
@@ -104,6 +116,7 @@ static REGISTRY: [AlgorithmInfo; 8] = [
         approximate: false,
         all_pairs: false,
         thresholded: true,
+        queryable: false,
     },
     AlgorithmInfo {
         algorithm: Algorithm::LowEnergyBfs,
@@ -116,6 +129,7 @@ static REGISTRY: [AlgorithmInfo; 8] = [
         approximate: false,
         all_pairs: false,
         thresholded: true,
+        queryable: false,
     },
     AlgorithmInfo {
         algorithm: Algorithm::LowEnergyCssp,
@@ -128,6 +142,7 @@ static REGISTRY: [AlgorithmInfo; 8] = [
         approximate: false,
         all_pairs: false,
         thresholded: false,
+        queryable: false,
     },
     AlgorithmInfo {
         algorithm: Algorithm::Dijkstra,
@@ -140,6 +155,7 @@ static REGISTRY: [AlgorithmInfo; 8] = [
         approximate: false,
         all_pairs: false,
         thresholded: false,
+        queryable: false,
     },
     AlgorithmInfo {
         algorithm: Algorithm::BellmanFord,
@@ -152,6 +168,7 @@ static REGISTRY: [AlgorithmInfo; 8] = [
         approximate: false,
         all_pairs: false,
         thresholded: false,
+        queryable: false,
     },
     AlgorithmInfo {
         algorithm: Algorithm::Apsp,
@@ -164,6 +181,20 @@ static REGISTRY: [AlgorithmInfo; 8] = [
         approximate: false,
         all_pairs: true,
         thresholded: false,
+        queryable: true,
+    },
+    AlgorithmInfo {
+        algorithm: Algorithm::DistanceOracle,
+        name: "distance-oracle",
+        label: "distance-oracle (covers)",
+        summary: "sparse-cover distance oracle: sublinear space, bounded stretch",
+        weighted: true,
+        multi_source: false,
+        sleeping_model: false,
+        approximate: true,
+        all_pairs: false,
+        thresholded: false,
+        queryable: true,
     },
 ];
 
@@ -174,7 +205,7 @@ pub fn registry() -> &'static [AlgorithmInfo] {
 
 impl Algorithm {
     /// Every variant, in registry (display) order.
-    pub const ALL: [Algorithm; 8] = [
+    pub const ALL: [Algorithm; 9] = [
         Algorithm::Cssp,
         Algorithm::ApproximateCssp,
         Algorithm::Bfs,
@@ -183,6 +214,7 @@ impl Algorithm {
         Algorithm::Dijkstra,
         Algorithm::BellmanFord,
         Algorithm::Apsp,
+        Algorithm::DistanceOracle,
     ];
 
     /// This algorithm's registry entry.
@@ -247,8 +279,15 @@ mod tests {
             }
             // Sleeping-model and approximate never coincide in this suite.
             assert!(!(info.sleeping_model && info.approximate));
+            // A materialized all-pairs matrix always serves queries.
+            if info.all_pairs {
+                assert!(info.queryable);
+            }
         }
         assert!(Algorithm::Apsp.info().all_pairs);
+        // The distance oracle is queryable without materializing the matrix.
+        let oracle = Algorithm::DistanceOracle.info();
+        assert!(oracle.queryable && oracle.approximate && !oracle.all_pairs);
         assert!(!Algorithm::Bfs.info().weighted);
         assert!(Algorithm::LowEnergyCssp.info().sleeping_model);
         assert!(Algorithm::ApproximateCssp.info().approximate);

@@ -46,4 +46,4 @@ pub use cluster::{Cluster, ClusterId, ClusterTree};
 pub use decomposition::{separated_decomposition, Decomposition};
 pub use layered::LayeredCover;
 pub use schedule::ClusterSchedule;
-pub use sparse_cover::{CoverError, CoverStats, SparseCover};
+pub use sparse_cover::{geometric_levels, CoverError, CoverStats, SparseCover};

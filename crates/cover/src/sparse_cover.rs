@@ -234,6 +234,30 @@ impl SparseCover {
         }
         Ok(self.stats())
     }
+
+    /// `true` when every cluster spans a whole connected component of `g`
+    /// (no graph edge leaves any cluster's member set). From such a cover
+    /// on, a larger radius cannot change the clustering — the distance
+    /// oracle's geometric level construction stops at the first component
+    /// cover (see `congest_oracle`).
+    pub fn is_component_cover(&self, g: &Graph) -> bool {
+        self.clusters.iter().all(|c| {
+            c.members.iter().all(|&v| g.neighbors(v).iter().all(|a| c.contains(a.neighbor)))
+        })
+    }
+}
+
+/// The geometric radius sequence `d = 1, 2, 4, …` used by distance-oracle
+/// level construction: doubles until it reaches `limit` (the final radius is
+/// `>= limit`, so a ball of `limit` hops fits inside the last level). A
+/// `limit` of 0 still yields `[1]` — an oracle always has at least one level.
+pub fn geometric_levels(limit: u64) -> Vec<u64> {
+    let mut ds = vec![1u64];
+    while *ds.last().expect("non-empty by construction") < limit {
+        let next = ds.last().expect("non-empty by construction").saturating_mul(2);
+        ds.push(next);
+    }
+    ds
 }
 
 /// Expands a decomposition cluster by its `d`-neighborhood and extends its
@@ -400,5 +424,27 @@ mod tests {
         assert!(e.to_string().contains("C5"));
         let e = CoverError::InconsistentMembership { node: NodeId(7) };
         assert!(e.to_string().contains("v7"));
+    }
+
+    #[test]
+    fn geometric_levels_double_to_the_limit() {
+        assert_eq!(geometric_levels(0), [1]);
+        assert_eq!(geometric_levels(1), [1]);
+        assert_eq!(geometric_levels(5), [1, 2, 4, 8]);
+        assert_eq!(geometric_levels(8), [1, 2, 4, 8]);
+        let ds = geometric_levels(u64::MAX);
+        assert_eq!(*ds.last().unwrap(), u64::MAX, "saturates instead of overflowing");
+    }
+
+    #[test]
+    fn component_cover_detection() {
+        let g = generators::path(8, 1);
+        // Radius 1 on a path: clusters are small balls, edges leave them.
+        let small = SparseCover::construct(&g, 1);
+        assert!(!small.is_component_cover(&g));
+        // A radius covering the whole path: one cluster per component.
+        let full = SparseCover::construct(&g, 8);
+        assert!(full.is_component_cover(&g));
+        full.validate(&g).expect("component covers are valid covers");
     }
 }

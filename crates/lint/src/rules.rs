@@ -254,8 +254,8 @@ fn cfg_test_mod_line(sc: &ScanResult) -> u32 {
     u32::MAX
 }
 
-const DETERMINISM_CRATES: [&str; 4] =
-    ["crates/sim/", "crates/core/", "crates/cover/", "crates/graph/"];
+const DETERMINISM_CRATES: [&str; 5] =
+    ["crates/sim/", "crates/core/", "crates/cover/", "crates/graph/", "crates/oracle/"];
 
 fn check_nondeterministic_iteration(rel_path: &str, sc: &ScanResult, out: &mut Vec<Finding>) {
     if !DETERMINISM_CRATES.iter().any(|p| rel_path.starts_with(p)) {

@@ -1,0 +1,422 @@
+//! Approximate distance oracle with sublinear space, built on sparse covers.
+//!
+//! The paper's APSP ramification gives every node its full routing table, but
+//! a *query service* cannot afford the `O(n²)` matrix. This crate is the
+//! long-lived query layer: it is constructed **once** from a geometric
+//! sequence of sparse `d`-covers (d = 1, 2, 4, … — see
+//! `congest_cover::sparse_cover`), stores only each node's distances to the
+//! centers of the `O(log n)`-ish clusters it belongs to per level, and then
+//! answers point-to-point distance queries by scanning the shared clusters of
+//! the `O(log n)` levels.
+//!
+//! # Structure and guarantee
+//!
+//! A level with radius `d` stores, for every node `u` and every cover cluster
+//! `C ∋ u`, the exact weighted distance `dist_C(center(C), u)` *inside the
+//! cluster's induced subgraph*. A query `(u, v)` returns
+//!
+//! ```text
+//! est(u, v) = min over levels ℓ, min over clusters C with u, v ∈ C of
+//!             dist_C(center(C), u) + dist_C(center(C), v)
+//! ```
+//!
+//! * **Never an underestimate**: `dist_C(c, ·) ≥ dist_G(c, ·)`, so by the
+//!   triangle inequality every candidate is `≥ dist_G(u, v)`.
+//! * **Bounded stretch**: with edge weights `≥ 1`, a pair at true distance
+//!   `t` whose shortest path has `h ≤ t` hops is covered by the first level
+//!   with `d_ℓ ≥ h` (the cover property puts the whole `d_ℓ`-ball of `u`,
+//!   hence `v`, inside `u`'s home cluster), where the estimate is at most
+//!   twice the level's largest stored center distance. Chasing this through
+//!   the geometric sequence yields the per-oracle bound computed by
+//!   [`DistanceOracle::from_levels`] and reported as
+//!   [`OracleStats::stretch_bound`]; [`DistanceOracle::query`] never returns
+//!   more than `stretch_bound × dist_G(u, v)`.
+//!
+//! The construction driver lives in `congest_sssp::oracle`: it runs one
+//! facade SSSP per cluster (reusing the registry's solvers rather than a
+//! private shortest-path implementation) and feeds this crate's
+//! [`LevelBuilder`]. Below a configurable node count
+//! ([`OracleConfig::fallback_threshold`]) the driver materializes exact APSP
+//! instead ([`DistanceOracle::exact`]) — at small `n` the matrix is cheap and
+//! the answers become exact (`stretch_bound == 1`).
+//!
+//! Batch queries ([`DistanceOracle::query_into`]) are slice-in/slice-out with
+//! zero per-query allocation (lint-enforced by the `simlint: hot-path` header
+//! on the [`batch`] kernel and pinned by `tests/alloc_regression.rs`), and
+//! shard a batch across threads by contiguous ranges — results are
+//! bit-identical at every thread count because each query is a pure read.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+
+use congest_graph::{Distance, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Internal sentinel for "no stored distance" (center unreachable inside the
+/// cluster subgraph — defensive; covers built from connected expansions never
+/// produce it).
+pub(crate) const UNREACHED: u64 = u64::MAX;
+
+/// Construction policy for a [`DistanceOracle`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OracleConfig {
+    /// Graphs with at most this many nodes skip the cover hierarchy and
+    /// materialize exact APSP instead ([`DistanceOracle::exact`]): below this
+    /// size the `n²` matrix is smaller than the bookkeeping it replaces, and
+    /// queries become exact.
+    pub fallback_threshold: u32,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig { fallback_threshold: 64 }
+    }
+}
+
+impl OracleConfig {
+    /// Sets the exact-APSP fallback threshold.
+    pub fn with_fallback_threshold(mut self, threshold: u32) -> Self {
+        self.fallback_threshold = threshold;
+        self
+    }
+}
+
+/// Space and quality accounting of a built oracle, reported by
+/// [`DistanceOracle::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OracleStats {
+    /// Number of nodes the oracle serves.
+    pub n: u32,
+    /// `true` when the oracle is an exact APSP matrix (small-`n` fallback).
+    pub fallback: bool,
+    /// Number of cover levels (0 for the exact fallback).
+    pub levels: u32,
+    /// Total clusters across all levels.
+    pub clusters: u64,
+    /// Total stored `(cluster, center-distance)` entries across all levels.
+    pub entries: u64,
+    /// Resident bytes of the query structure (per-level offset arrays plus
+    /// entry arrays, or `n²·8` for the exact fallback).
+    pub bytes: u64,
+    /// Bytes an exact all-pairs matrix would take (`n²·8`), for comparison.
+    pub exact_matrix_bytes: u64,
+    /// Proven multiplicative stretch bound: every finite
+    /// [`DistanceOracle::query`] answer is within `stretch_bound ×` the true
+    /// distance (`1` for the exact fallback).
+    pub stretch_bound: u64,
+    /// Maximum number of clusters any single node belongs to on one level.
+    pub max_membership: u32,
+}
+
+/// One cover level of the oracle: for every node, its clusters on this level
+/// and the exact in-cluster distance to each cluster's center, stored as a
+/// CSR-style flattened array (per-node slices sorted by cluster id, so two
+/// nodes' shared clusters are found by a linear merge without allocating).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OracleLevel {
+    /// The cover radius `d` of this level.
+    pub d: u64,
+    /// Number of clusters on this level.
+    pub clusters: u32,
+    /// Largest finite stored center distance on this level (enters the
+    /// stretch bound as the level's worst-case estimate `2 × max_center_dist`).
+    pub max_center_dist: u64,
+    offsets: Vec<u32>,
+    cluster_ids: Vec<u32>,
+    center_dist: Vec<u64>,
+}
+
+impl OracleLevel {
+    /// The per-node membership slices of `v`: parallel `(cluster ids, center
+    /// distances)`, sorted by cluster id.
+    pub(crate) fn of(&self, v: usize) -> (&[u32], &[u64]) {
+        let lo = self.offsets[v] as usize;
+        let hi = self.offsets[v + 1] as usize;
+        (&self.cluster_ids[lo..hi], &self.center_dist[lo..hi])
+    }
+
+    /// Stored `(cluster, distance)` entries on this level.
+    pub fn entries(&self) -> u64 {
+        self.cluster_ids.len() as u64
+    }
+
+    /// Resident bytes of this level's arrays.
+    pub fn bytes(&self) -> u64 {
+        self.offsets.len() as u64 * 4 + self.entries() * 12
+    }
+
+    /// Maximum entries of any single node on this level.
+    pub fn max_membership(&self) -> u32 {
+        self.offsets.windows(2).map(|w| w[1] - w[0]).max().unwrap_or(0)
+    }
+}
+
+/// Accumulates one [`OracleLevel`] cluster by cluster.
+///
+/// Clusters must be pushed in increasing id order (the natural iteration
+/// order of `SparseCover::clusters`) so that every node's entry list comes
+/// out sorted by cluster id — the merge-based query kernel relies on it.
+#[derive(Debug)]
+pub struct LevelBuilder {
+    d: u64,
+    clusters: u32,
+    max_center_dist: u64,
+    per_node: Vec<Vec<(u32, u64)>>,
+}
+
+impl LevelBuilder {
+    /// Starts an empty level with radius `d` over `n` nodes.
+    pub fn new(n: u32, d: u64) -> Self {
+        LevelBuilder { d, clusters: 0, max_center_dist: 0, per_node: vec![Vec::new(); n as usize] }
+    }
+
+    /// Adds the next cluster: `members[i]` is a member node and `dist[i]` its
+    /// exact distance from the cluster center inside the cluster's induced
+    /// subgraph ([`Distance::Infinite`] is stored as a sentinel and skipped
+    /// by queries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or a member is out of range.
+    pub fn push_cluster(&mut self, members: &[NodeId], dist: &[Distance]) {
+        assert_eq!(members.len(), dist.len(), "one distance per member");
+        let id = self.clusters;
+        self.clusters += 1;
+        for (&v, &dd) in members.iter().zip(dist.iter()) {
+            let stored = match dd.finite() {
+                Some(f) => {
+                    self.max_center_dist = self.max_center_dist.max(f);
+                    f
+                }
+                None => UNREACHED,
+            };
+            self.per_node[v.index()].push((id, stored));
+        }
+    }
+
+    /// Flattens the accumulated memberships into the immutable level layout.
+    pub fn finish(self) -> OracleLevel {
+        let entries: usize = self.per_node.iter().map(Vec::len).sum();
+        let mut offsets = Vec::with_capacity(self.per_node.len() + 1);
+        let mut cluster_ids = Vec::with_capacity(entries);
+        let mut center_dist = Vec::with_capacity(entries);
+        offsets.push(0u32);
+        for list in &self.per_node {
+            debug_assert!(list.windows(2).all(|w| w[0].0 < w[1].0), "sorted by cluster id");
+            for &(c, dd) in list {
+                cluster_ids.push(c);
+                center_dist.push(dd);
+            }
+            offsets.push(cluster_ids.len() as u32);
+        }
+        OracleLevel {
+            d: self.d,
+            clusters: self.clusters,
+            max_center_dist: self.max_center_dist,
+            offsets,
+            cluster_ids,
+            center_dist,
+        }
+    }
+}
+
+/// The oracle's two storage backends.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub(crate) enum Backend {
+    /// The sparse-cover hierarchy.
+    Levels(Vec<OracleLevel>),
+    /// Row-major exact `n × n` matrix (`u64::MAX` = unreachable), used below
+    /// the fallback threshold.
+    Exact(Vec<u64>),
+}
+
+/// A built distance oracle: answers point-to-point (and batch) distance
+/// queries forever after a one-time construction. See the crate docs for the
+/// guarantee and `congest_sssp::oracle` for the construction driver.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DistanceOracle {
+    pub(crate) n: u32,
+    pub(crate) backend: Backend,
+    stats: OracleStats,
+}
+
+impl DistanceOracle {
+    /// Assembles an oracle from finished cover levels and computes the proven
+    /// stretch bound.
+    ///
+    /// The levels must have strictly increasing radii and must be *complete*:
+    /// the last level's clusters each span a whole connected component (or
+    /// its radius is at least `n − 1`), so that every connected pair shares a
+    /// cluster somewhere. The construction driver guarantees this by doubling
+    /// `d` until `SparseCover::is_component_cover` holds.
+    ///
+    /// The bound: a pair whose shortest path has `h` hops is covered by the
+    /// first level with `d_ℓ ≥ h`, where the estimate is at most
+    /// `2 × max_center_dist(ℓ)`; with weights `≥ 1` the true distance exceeds
+    /// the previous level's radius, so level `ℓ` contributes stretch at most
+    /// `⌈2 × max_center_dist(ℓ) / (d_{ℓ−1} + 1)⌉`, and the oracle's bound is
+    /// the maximum over levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the level radii are not strictly increasing.
+    pub fn from_levels(n: u32, levels: Vec<OracleLevel>) -> Self {
+        let mut stretch_bound: u64 = 1;
+        let mut prev_d: u64 = 0;
+        for lvl in &levels {
+            assert!(lvl.d > prev_d, "strictly increasing radii");
+            let worst_estimate = lvl.max_center_dist.saturating_mul(2);
+            stretch_bound = stretch_bound.max(worst_estimate.div_ceil(prev_d + 1));
+            prev_d = lvl.d;
+        }
+        let exact_matrix_bytes = n as u64 * n as u64 * 8;
+        let stats = OracleStats {
+            n,
+            fallback: false,
+            levels: levels.len() as u32,
+            clusters: levels.iter().map(|l| l.clusters as u64).sum(),
+            entries: levels.iter().map(OracleLevel::entries).sum(),
+            bytes: levels.iter().map(OracleLevel::bytes).sum(),
+            exact_matrix_bytes,
+            stretch_bound,
+            max_membership: levels.iter().map(OracleLevel::max_membership).max().unwrap_or(0),
+        };
+        DistanceOracle { n, backend: Backend::Levels(levels), stats }
+    }
+
+    /// Wraps an exact all-pairs matrix (the small-`n` fallback): queries are
+    /// plain lookups and the stretch bound is 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not `n × n`.
+    pub fn exact(n: u32, matrix: Vec<Vec<Distance>>) -> Self {
+        assert_eq!(matrix.len(), n as usize, "one row per node");
+        let mut flat = Vec::with_capacity(n as usize * n as usize);
+        for row in &matrix {
+            assert_eq!(row.len(), n as usize, "square matrix");
+            flat.extend(row.iter().map(|d| d.finite().unwrap_or(UNREACHED)));
+        }
+        let bytes = flat.len() as u64 * 8;
+        let stats = OracleStats {
+            n,
+            fallback: true,
+            levels: 0,
+            clusters: 0,
+            entries: 0,
+            bytes,
+            exact_matrix_bytes: bytes,
+            stretch_bound: 1,
+            max_membership: 0,
+        };
+        DistanceOracle { n, backend: Backend::Exact(flat), stats }
+    }
+
+    /// Number of nodes the oracle serves.
+    pub fn node_count(&self) -> u32 {
+        self.n
+    }
+
+    /// `true` when answers are exact (the APSP fallback backend).
+    pub fn is_exact(&self) -> bool {
+        matches!(self.backend, Backend::Exact(_))
+    }
+
+    /// Space and quality accounting of the built structure.
+    pub fn stats(&self) -> &OracleStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_level_oracle() -> DistanceOracle {
+        // Path 0-1-2-3, unit weights. Level d=1: clusters {0,1}, {1,2}, {2,3}
+        // centered at 0, 1, 2 (radius-1 balls, simplified). Level d=4: one
+        // cluster, whole path, centered at 0.
+        let mut l1 = LevelBuilder::new(4, 1);
+        l1.push_cluster(&[NodeId(0), NodeId(1)], &[Distance::ZERO, Distance::Finite(1)]);
+        l1.push_cluster(
+            &[NodeId(0), NodeId(1), NodeId(2)],
+            &[Distance::Finite(1), Distance::ZERO, Distance::Finite(1)],
+        );
+        l1.push_cluster(
+            &[NodeId(1), NodeId(2), NodeId(3)],
+            &[Distance::Finite(1), Distance::ZERO, Distance::Finite(1)],
+        );
+        let mut l2 = LevelBuilder::new(4, 4);
+        l2.push_cluster(
+            &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
+            &[Distance::ZERO, Distance::Finite(1), Distance::Finite(2), Distance::Finite(3)],
+        );
+        DistanceOracle::from_levels(4, vec![l1.finish(), l2.finish()])
+    }
+
+    #[test]
+    fn builder_flattens_sorted_and_counts() {
+        let o = two_level_oracle();
+        let s = o.stats();
+        assert_eq!(s.n, 4);
+        assert!(!s.fallback);
+        assert_eq!(s.levels, 2);
+        assert_eq!(s.clusters, 4);
+        assert_eq!(s.entries, 8 + 4);
+        assert_eq!(s.max_membership, 3);
+        assert_eq!(s.exact_matrix_bytes, 4 * 4 * 8);
+        let Backend::Levels(levels) = &o.backend else { panic!("level backend") };
+        let (ids, dist) = levels[0].of(1);
+        assert_eq!(ids, [0, 1, 2]);
+        assert_eq!(dist, [1, 0, 1]);
+    }
+
+    #[test]
+    fn stretch_bound_tracks_the_worst_level_ratio() {
+        let o = two_level_oracle();
+        // Level 1 (prev_d = 0): 2·1 / 1 = 2. Level 2 (prev_d = 1): 2·3 / 2 = 3.
+        assert_eq!(o.stats().stretch_bound, 3);
+    }
+
+    #[test]
+    fn exact_backend_reports_fallback_stats() {
+        let matrix = vec![
+            vec![Distance::ZERO, Distance::Finite(2)],
+            vec![Distance::Finite(2), Distance::ZERO],
+        ];
+        let o = DistanceOracle::exact(2, matrix);
+        assert!(o.is_exact());
+        let s = o.stats();
+        assert!(s.fallback);
+        assert_eq!(s.stretch_bound, 1);
+        assert_eq!(s.bytes, s.exact_matrix_bytes);
+        assert_eq!(o.node_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing radii")]
+    fn non_increasing_radii_rejected() {
+        let l1 = LevelBuilder::new(2, 2).finish();
+        let l2 = LevelBuilder::new(2, 2).finish();
+        let _ = DistanceOracle::from_levels(2, vec![l1, l2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one distance per member")]
+    fn mismatched_cluster_slices_rejected() {
+        let mut b = LevelBuilder::new(2, 1);
+        b.push_cluster(&[NodeId(0)], &[]);
+    }
+
+    #[test]
+    fn infinite_center_distances_are_sentineled() {
+        let mut b = LevelBuilder::new(2, 1);
+        b.push_cluster(&[NodeId(0), NodeId(1)], &[Distance::ZERO, Distance::Infinite]);
+        let lvl = b.finish();
+        assert_eq!(lvl.max_center_dist, 0);
+        let (_, dist) = lvl.of(1);
+        assert_eq!(dist, [UNREACHED]);
+    }
+}

@@ -1,9 +1,19 @@
-//! Routing-table construction (the paper's APSP ramification): every node
-//! needs its distance to every other node. Running the `n` SSSP instances one
-//! after another costs the *sum* of their times; because each instance of the
-//! paper's SSSP sends only poly(log n) messages per edge, all `n` instances
-//! can run concurrently under random-delay scheduling and finish in `Õ(n)`
-//! rounds.
+//! Routing with a distance-oracle query service (the paper's APSP
+//! ramification, without materializing the matrix).
+//!
+//! A routing layer rarely needs all `n²` distances at once — it needs to
+//! *answer* point-to-point queries as they arrive. This example builds the
+//! sparse-cover distance oracle once (its per-cluster preprocessing runs the
+//! paper's CSSP through the ordinary solver facade), then serves a batch of
+//! random queries, comparing the oracle's memory footprint against the exact
+//! all-pairs matrix and cross-checking both backends:
+//!
+//! * Small network: construction takes the exact-APSP fallback (the paper's
+//!   random-delay composition), so every answer is exact — verified against
+//!   sequential Dijkstra.
+//! * Larger network: construction builds the cover hierarchy; every answer
+//!   stays within the oracle's proven stretch bound in a fraction of the
+//!   matrix's memory.
 //!
 //! Run with:
 //!
@@ -11,47 +21,98 @@
 //! cargo run --release --example apsp_routing
 //! ```
 
-use congest_sssp_suite::graph::{generators, sequential};
+use congest_sssp_suite::graph::{generators, sequential, Distance, Graph, NodeId};
 use congest_sssp_suite::sssp::apsp::ApspConfig;
-use congest_sssp_suite::sssp::{Algorithm, Solver};
+use congest_sssp_suite::sssp::{build_oracle, AlgoConfig, OracleConfig};
+
+/// Deterministic seeded pair sampler (the demo must replay identically).
+fn random_pairs(n: u32, count: usize, mut state: u64) -> Vec<(NodeId, NodeId)> {
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state >> 11
+    };
+    (0..count)
+        .map(|_| (NodeId((next() % n as u64) as u32), NodeId((next() % n as u64) as u32)))
+        .collect()
+}
+
+fn network(n: u32, seed: u64) -> Graph {
+    let base = generators::random_connected(n, 2 * n as u64, seed);
+    generators::with_random_weights(&base, 16, seed)
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let base = generators::random_connected(32, 64, 9);
-    let g = generators::with_random_weights(&base, 16, 9);
-    println!("network: {} nodes, {} links", g.node_count(), g.edge_count());
-
-    let run = Solver::on(&g)
-        .algorithm(Algorithm::Apsp)
-        .apsp_config(ApspConfig { seed: 4, ..ApspConfig::default() })
-        .run()?;
-
-    // Routing tables are correct: cross-check every entry against Dijkstra.
+    // --- Small network: the exact-APSP fallback -----------------------------
+    let g = network(32, 9);
+    println!("small network: {} nodes, {} links", g.node_count(), g.edge_count());
+    let build = build_oracle(
+        &g,
+        &AlgoConfig::default(),
+        &OracleConfig::default(),
+        &ApspConfig { seed: 4, ..ApspConfig::default() },
+    )?;
+    assert!(build.oracle.is_exact(), "32 nodes sits below the fallback threshold");
+    println!(
+        "construction fell back to exact APSP ({} simulated rounds, stretch bound 1)",
+        build.rounds
+    );
+    // Cross-check every entry the service can answer against Dijkstra.
     let truth = sequential::all_pairs(&g);
-    let tables = run.all_pairs.as_ref().expect("APSP returns the full matrix");
-    for s in g.nodes() {
-        assert_eq!(tables[s.index()], truth[s.index()]);
+    for u in g.nodes() {
+        for v in g.nodes() {
+            assert_eq!(build.oracle.query(u, v), truth[u.index()][v.index()]);
+        }
+    }
+    println!("all {n}x{n} query answers verified exact against Dijkstra", n = g.node_count());
+
+    // --- Larger network: the sparse-cover hierarchy --------------------------
+    let g = network(192, 23);
+    println!("\nlarge network: {} nodes, {} links", g.node_count(), g.edge_count());
+    let build =
+        build_oracle(&g, &AlgoConfig::default(), &OracleConfig::default(), &ApspConfig::default())?;
+    let report = &build.report;
+    assert!(!build.oracle.is_exact(), "192 nodes builds the cover hierarchy");
+    println!(
+        "oracle built: {} levels, {} clusters, proven stretch <= {} \
+         ({} simulated preprocessing rounds)",
+        report.levels, report.clusters, report.stretch_bound, build.rounds
+    );
+    println!(
+        "memory: {} bytes vs {} bytes for the exact matrix ({:.1}% of n^2)",
+        report.bytes,
+        report.exact_matrix_bytes,
+        100.0 * report.bytes as f64 / report.exact_matrix_bytes as f64
+    );
+    assert!(report.bytes < report.exact_matrix_bytes, "sublinear space must win here");
+
+    // Serve a batch of random queries: slice in, slice out, no per-query
+    // allocation, sharded over 4 query threads.
+    let pairs = random_pairs(g.node_count(), 50_000, 0xBEEF);
+    let mut answers = vec![Distance::Infinite; pairs.len()];
+    // simlint::allow(wall-clock: queries/sec is the demo's service metric, not simulated time)
+    let start = std::time::Instant::now();
+    build.oracle.query_into(&pairs, &mut answers, 4);
+    let secs = start.elapsed().as_secs_f64();
+    println!(
+        "served {} queries in {:.1} ms ({:.2e} queries/s on 4 threads)",
+        pairs.len(),
+        secs * 1e3,
+        pairs.len() as f64 / secs.max(1e-9)
+    );
+
+    // Every answer stays within the proven stretch of the true distance
+    // (spot-checked against Dijkstra from each queried source).
+    let mut truth: Vec<Option<Vec<Distance>>> = vec![None; g.node_count() as usize];
+    let mut worst = 1.0f64;
+    for (&(u, v), est) in pairs.iter().zip(&answers) {
+        let row = truth[u.index()].get_or_insert_with(|| sequential::dijkstra(&g, &[u]).distances);
+        let (est, t) = (est.expect_finite(), row[v.index()].expect_finite());
+        assert!(t <= est && est <= t * report.stretch_bound, "({u},{v}): {est} vs {t}");
+        worst = worst.max(est as f64 / t.max(1) as f64);
     }
     println!(
-        "all {}x{} routing-table entries verified against Dijkstra",
-        g.node_count(),
-        g.node_count()
-    );
-
-    let sched = run.report.schedule.expect("APSP reports its schedule");
-    println!("\nper-instance SSSP congestion (max over edges): {}", sched.max_instance_congestion);
-    println!(
-        "sequential composition of {} instances: {} rounds",
-        g.node_count(),
-        sched.sequential_rounds
-    );
-    println!(
-        "random-delay concurrent schedule:          {} rounds ({} messages/edge/round budget)",
-        sched.makespan, sched.edge_budget
-    );
-    println!("speedup from scheduling: {:.1}x", sched.speedup());
-    println!(
-        "randomness used: only the {} start delays (the SSSPs themselves are deterministic)",
-        g.node_count()
+        "observed stretch <= {:.2} on every sampled pair (proven bound: {})",
+        worst, report.stretch_bound
     );
     Ok(())
 }

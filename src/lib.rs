@@ -9,6 +9,8 @@
 //!   ([`congest_sim`]).
 //! * [`cover`] — deterministic network decomposition and sparse neighborhood
 //!   covers ([`congest_cover`]).
+//! * [`oracle`] — the sublinear-space point-to-point distance oracle built on
+//!   sparse covers ([`congest_oracle`]).
 //! * [`sssp`] — the paper's algorithms: low-congestion CSSP/SSSP, low-energy
 //!   BFS/CSSP, APSP, and the baselines ([`congest_sssp`]).
 //!
@@ -28,12 +30,13 @@
 //!
 //! `congest_sssp_suite::sssp::registry()` enumerates every algorithm the
 //! [`sssp::Solver`] facade can run, with capability flags (weighted /
-//! multi-source / sleeping-model / approximate / all-pairs / thresholded)
-//! for generic iteration.
+//! multi-source / sleeping-model / approximate / all-pairs / thresholded /
+//! queryable) for generic iteration.
 
 #![forbid(unsafe_code)]
 
 pub use congest_cover as cover;
 pub use congest_graph as graph;
+pub use congest_oracle as oracle;
 pub use congest_sim as sim;
 pub use congest_sssp as sssp;

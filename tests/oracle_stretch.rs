@@ -1,0 +1,110 @@
+//! Property tests for the distance-oracle query service: on random and
+//! adversarial workloads, every point-to-point answer must respect the
+//! oracle's contracts — never below the true distance, within the proven
+//! stretch bound on the cover path, exactly the true distance below the
+//! fallback threshold, and byte-identical however the query batch is
+//! sharded across threads.
+
+use congest_sssp_suite::graph::{generators, sequential, Distance, Graph, NodeId};
+use congest_sssp_suite::sssp::apsp::ApspConfig;
+use congest_sssp_suite::sssp::{build_oracle, AlgoConfig, OracleConfig};
+use proptest::prelude::*;
+
+/// Small connected-ish workloads of three shapes: random graphs plus the
+/// broom and barbell adversaries (long handles stress the level doubling,
+/// dense lobes stress cluster membership).
+fn workload() -> impl Strategy<Value = Graph> {
+    (4u32..20, 0u64..16, 0u64..10_000, 1u64..24, 0usize..3).prop_map(
+        |(n, extra, seed, max_w, shape)| {
+            let base = match shape {
+                0 => generators::random_connected(n, extra, seed),
+                1 => generators::broom(n / 2 + 1, n / 2 + 1, 1),
+                _ => generators::barbell(n / 2 + 2, n % 3, 1),
+            };
+            generators::with_random_weights(&base, max_w, seed ^ 0xd1ff)
+        },
+    )
+}
+
+/// Builds the oracle on the cover path regardless of graph size.
+fn cover_oracle(g: &Graph) -> congest_sssp_suite::sssp::OracleBuild {
+    build_oracle(
+        g,
+        &AlgoConfig::default(),
+        &OracleConfig::default().with_fallback_threshold(0),
+        &ApspConfig::default(),
+    )
+    .expect("oracle build")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The cover-path oracle never underestimates, stays within its proven
+    /// stretch bound, and agrees with the truth on reachability — on every
+    /// pair, not a sample.
+    #[test]
+    fn cover_path_queries_stay_within_the_stretch_bound(g in workload()) {
+        let build = cover_oracle(&g);
+        prop_assert!(!build.oracle.is_exact());
+        let s = build.report.stretch_bound;
+        prop_assert!(s >= 1);
+        let truth = sequential::all_pairs(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                let est = build.oracle.query(u, v);
+                let t = truth[u.index()][v.index()];
+                match (est.finite(), t.finite()) {
+                    (Some(est), Some(t)) => prop_assert!(
+                        t <= est && est <= t * s,
+                        "({u},{v}): estimate {est} vs truth {t} (stretch bound {s})"
+                    ),
+                    (e, t) => prop_assert!(
+                        e.is_none() && t.is_none(),
+                        "({u},{v}): reachability disagrees with the truth"
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Below the fallback threshold the oracle is the exact all-pairs matrix:
+    /// every query answer equals the sequential truth.
+    #[test]
+    fn fallback_oracle_answers_exactly(g in workload()) {
+        let build = build_oracle(
+            &g,
+            &AlgoConfig::default(),
+            &OracleConfig::default(), // every workload here sits below the default threshold
+            &ApspConfig::default(),
+        ).expect("oracle build");
+        prop_assert!(build.oracle.is_exact());
+        prop_assert_eq!(build.report.stretch_bound, 1);
+        let truth = sequential::all_pairs(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                prop_assert_eq!(build.oracle.query(u, v), truth[u.index()][v.index()]);
+            }
+        }
+    }
+
+    /// Batch answers are byte-identical at every thread count and equal to
+    /// the one-by-one `query` path: sharding is an execution strategy, not a
+    /// semantic knob.
+    #[test]
+    fn batch_queries_are_identical_across_thread_counts(g in workload()) {
+        let build = cover_oracle(&g);
+        let pairs: Vec<(NodeId, NodeId)> =
+            g.nodes().flat_map(|u| g.nodes().map(move |v| (u, v))).collect();
+        let mut baseline = vec![Distance::Infinite; pairs.len()];
+        build.oracle.query_into(&pairs, &mut baseline, 1);
+        for (&(u, v), &d) in pairs.iter().zip(&baseline) {
+            prop_assert_eq!(d, build.oracle.query(u, v), "({}, {})", u, v);
+        }
+        for threads in [2usize, 4] {
+            let mut out = vec![Distance::Infinite; pairs.len()];
+            build.oracle.query_into(&pairs, &mut out, threads);
+            prop_assert_eq!(&out, &baseline, "{} threads diverged", threads);
+        }
+    }
+}
