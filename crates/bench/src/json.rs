@@ -13,7 +13,7 @@ use congest_sssp::{
 
 use crate::{
     ApspRow, ApspThroughputRow, ChaosRow, CoverRow, CutterRow, EnergyRow, ForestRow, OracleRow,
-    RecursionRow, ShardScalingRow, SsspRow, ThroughputRow,
+    RecursionRow, SeqSolverRow, ShardScalingRow, SsspRow, ThroughputRow,
 };
 
 /// Types that can render themselves as a JSON value.
@@ -168,6 +168,10 @@ impl_row_json! {
         workload, n, m, fallback, levels, clusters, bytes, exact_matrix_bytes, space_ratio,
         stretch_bound, max_observed_stretch, preprocess_rounds, queries, queries_per_sec,
         threads_agree,
+    }
+    SeqSolverRow {
+        family, n, m, binary_ms, radix_ms, recursive_ms, speedup, distances_match,
+        recursive_matches,
     }
 }
 

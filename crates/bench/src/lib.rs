@@ -1229,6 +1229,110 @@ pub fn e16_oracle_at(sizes: &[u32], query_count: usize, thread_counts: &[usize])
     rows
 }
 
+// ---------------------------------------------------------------------------
+// E17: sequential truth-oracle shootout on the killer families
+// ---------------------------------------------------------------------------
+
+/// One measurement row of the sequential-solver shootout (E17): the
+/// radix-heap truth oracle vs the retained binary-heap Dijkstra vs the
+/// `seq-bmssp` recursive rival, on one adversarial graph family.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeqSolverRow {
+    /// Killer-family label (see `docs/SEQ_BASELINES.md`).
+    pub family: String,
+    /// Number of nodes.
+    pub n: u32,
+    /// Number of edges.
+    pub m: u32,
+    /// Fastest wall-clock milliseconds of the binary-heap Dijkstra.
+    pub binary_ms: f64,
+    /// Fastest wall-clock milliseconds of the radix-heap Dijkstra (the
+    /// default truth oracle).
+    pub radix_ms: f64,
+    /// Fastest wall-clock milliseconds of the `seq-bmssp` recursive solver
+    /// (run through the [`Solver`] facade, so its sequential-work metrics
+    /// are charged too).
+    pub recursive_ms: f64,
+    /// `binary_ms / radix_ms` — above 1.0 means the radix heap won.
+    pub speedup: f64,
+    /// Whether the radix- and binary-heap oracles produced *bit-identical*
+    /// results (distances and parent pointers) — must always be `true`.
+    pub distances_match: bool,
+    /// Whether the recursive rival's distances match the oracle — must
+    /// always be `true`.
+    pub recursive_matches: bool,
+}
+
+/// Times one closure; returns its last result and the fastest wall-clock
+/// milliseconds over `iters` runs.
+fn best_ms<T>(iters: u32, mut f: impl FnMut() -> T) -> (T, f64) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..iters.max(1) {
+        let start = std::time::Instant::now();
+        let r = f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        out = Some(r);
+    }
+    (out.expect("at least one iteration"), best)
+}
+
+/// Runs the sequential-solver shootout (E17) at the scale's standard sizes.
+/// `Full` puts the dense families at `n = 2048` (≈ 2.1 M edges each) — the
+/// sizes behind the `experiments -- seqsolver-json` CI gate's speedup bar.
+pub fn e17_seq_solver(scale: Scale) -> Vec<SeqSolverRow> {
+    match scale {
+        Scale::Quick => e17_seq_solver_at(96, 1024, 2),
+        Scale::Full => e17_seq_solver_at(2048, 32_768, 3),
+    }
+}
+
+/// Runs the sequential-solver shootout (E17) at explicit sizes: the dense
+/// killer families (`wrong_dijkstra_killer`, `max_dense`, `max_dense_zero`)
+/// at `dense_n` nodes, the sparse ones (`spfa_killer`, `grid_swirl`,
+/// `almost_line`) at ≈ `sparse_n` nodes. Each family times the binary-heap
+/// Dijkstra, the radix-heap Dijkstra, and the `seq-bmssp` rival (best of
+/// `iters` runs each) and cross-checks all three for exact agreement.
+pub fn e17_seq_solver_at(dense_n: u32, sparse_n: u32, iters: u32) -> Vec<SeqSolverRow> {
+    use congest_graph::sequential;
+    let side = (sparse_n as f64).sqrt() as u32;
+    let families: Vec<(&str, Graph)> = vec![
+        ("wrong-dijkstra-killer", generators::wrong_dijkstra_killer(dense_n)),
+        ("max-dense", generators::max_dense(dense_n, 17)),
+        ("max-dense-zero", generators::max_dense_zero(dense_n, 17)),
+        ("spfa-killer", generators::spfa_killer(sparse_n / 2)),
+        ("grid-swirl", generators::grid_swirl(side)),
+        ("almost-line", generators::almost_line(sparse_n, 17)),
+    ];
+    let cfg = AlgoConfig::default();
+    let mut rows = Vec::new();
+    for (family, g) in families {
+        let sources = [NodeId(0)];
+        let (binary, binary_ms) = best_ms(iters, || sequential::dijkstra_binary_heap(&g, &sources));
+        let (radix, radix_ms) = best_ms(iters, || sequential::dijkstra(&g, &sources));
+        let (recursive, recursive_ms) = best_ms(iters, || {
+            Solver::on(&g)
+                .algorithm(Algorithm::SeqRecursive)
+                .source(NodeId(0))
+                .config(cfg.clone())
+                .run()
+                .expect("seq-bmssp run")
+        });
+        rows.push(SeqSolverRow {
+            family: family.to_string(),
+            n: g.node_count(),
+            m: g.edge_count(),
+            binary_ms,
+            radix_ms,
+            recursive_ms,
+            speedup: binary_ms / radix_ms.max(1e-9),
+            distances_match: radix == binary,
+            recursive_matches: recursive.output.distances == binary.distances,
+        });
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1245,8 +1349,9 @@ mod tests {
     #[test]
     fn e1_rows_cover_all_algorithms() {
         let rows = e1_e3_sssp_comparison(Scale::Quick);
-        assert_eq!(rows.len(), 2 * 2 * 3);
+        assert_eq!(rows.len(), 2 * 2 * 4);
         assert!(rows.iter().any(|r| r.algorithm.contains("paper")));
+        assert!(rows.iter().any(|r| r.algorithm.contains("seq-bmssp")));
         assert!(rows.iter().all(|r| r.report.rounds > 0 && r.report.messages > 0));
     }
 
@@ -1349,6 +1454,26 @@ mod tests {
                 assert_eq!(row.fault_drops, 0);
             }
         }
+    }
+
+    #[test]
+    fn e17_solvers_agree_on_every_killer_family() {
+        // Functional checks only: the radix-vs-binary speedup bar is graded
+        // by the release-mode `experiments -- seqsolver-json` CI gate; this
+        // debug-mode test pins exact three-way agreement at reduced sizes.
+        let rows = e17_seq_solver(Scale::Quick);
+        assert_eq!(rows.len(), 6, "one row per killer family");
+        for row in &rows {
+            assert!(row.distances_match, "{}: radix diverged from binary", row.family);
+            assert!(row.recursive_matches, "{}: seq-bmssp diverged from the oracle", row.family);
+            assert!(row.n >= 2 && row.m >= 1, "{}: degenerate graph", row.family);
+            assert!(
+                row.binary_ms.is_finite() && row.radix_ms.is_finite(),
+                "{}: timings recorded",
+                row.family
+            );
+        }
+        assert!(rows.iter().any(|r| r.family == "wrong-dijkstra-killer"));
     }
 
     #[test]

@@ -13,7 +13,7 @@ use congest_sssp::{AlgorithmInfo, RunReport, SleepingReport};
 
 use crate::{
     ApspRow, ApspThroughputRow, ChaosRow, CoverRow, CutterRow, EnergyRow, ForestRow, OracleRow,
-    RecursionRow, ShardScalingRow, SsspRow, ThroughputRow,
+    RecursionRow, SeqSolverRow, ShardScalingRow, SsspRow, ThroughputRow,
 };
 
 /// One table column: header text plus whether its cells are right-aligned
@@ -491,6 +491,36 @@ impl TableRow for OracleRow {
             self.queries.to_string(),
             format!("{:.3e}", self.queries_per_sec),
             self.threads_agree.to_string(),
+        ]
+    }
+}
+
+impl TableRow for SeqSolverRow {
+    fn columns() -> Vec<Column> {
+        vec![
+            text("family"),
+            num("n"),
+            num("m"),
+            num("binary ms"),
+            num("radix ms"),
+            num("seq-bmssp ms"),
+            num("radix speedup"),
+            num("distances match"),
+            num("rival matches"),
+        ]
+    }
+
+    fn cells(&self) -> Vec<String> {
+        vec![
+            self.family.clone(),
+            self.n.to_string(),
+            self.m.to_string(),
+            format!("{:.2}", self.binary_ms),
+            format!("{:.2}", self.radix_ms),
+            format!("{:.2}", self.recursive_ms),
+            format!("{:.2}x", self.speedup),
+            self.distances_match.to_string(),
+            self.recursive_matches.to_string(),
         ]
     }
 }

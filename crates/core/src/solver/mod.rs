@@ -54,6 +54,7 @@ use crate::oracle::{build_oracle, OracleConfig};
 use crate::result::{
     DistanceOutput, RecursionReport, RunReport, ScheduleReport, SleepingReport, SourceOffset,
 };
+use crate::seq_recursive::seq_recursive;
 use crate::thresholded::thresholded_cssp;
 use crate::{AlgoConfig, AlgoError};
 
@@ -250,6 +251,15 @@ impl SolverRequest<'_> {
                 let run = distributed_bellman_ford(g, &nodes, &self.config)?;
                 let report = RunReport::new(self.algorithm, g, &run.metrics, &run.output);
                 Ok(SolverRun { output: run.output, all_pairs: None, report, trace: run.trace })
+            }
+            Algorithm::SeqRecursive => {
+                // The sequential rival settles distances <= the (inclusive)
+                // bound; the default bound never truncates.
+                let bound = self.threshold.unwrap_or(full_distance);
+                let run = seq_recursive(g, &nodes, bound, &self.config)?;
+                let mut report = RunReport::new(self.algorithm, g, &run.metrics, &run.output);
+                report.recursion = Some(RecursionReport::from(&run.stats));
+                Ok(SolverRun { output: run.output, all_pairs: None, report, trace: None })
             }
             Algorithm::Apsp => {
                 let row = nodes.first().copied().unwrap_or(NodeId(0));

@@ -297,6 +297,172 @@ pub fn with_random_weights_zero(g: &Graph, max_weight: Weight, seed: u64) -> Gra
     b.build()
 }
 
+// ---------------------------------------------------------------------------
+// Killer families: adversarial topologies engineered to punish specific
+// shortest-path strategies. Used by the differential proptests, the chaos
+// campaign, and the E17 sequential-solver gate — see `docs/SEQ_BASELINES.md`
+// for the gallery and the attack each family mounts.
+// ---------------------------------------------------------------------------
+
+/// A decrease-key storm: the complete graph on `n` nodes with
+/// `w(i, j) = n·(j-i) - i` for `i < j` (all weights positive and pairwise
+/// distinct). From source 0 the settle order is `0, 1, 2, …`, and every
+/// settled node `i` improves the tentative distance of *every* later node by
+/// exactly `i` — so a Dijkstra run performs `Θ(n²)` distance improvements and
+/// queues `Θ(n²)` entries. This is the dense family behind the E17 radix- vs
+/// binary-heap speedup gate, and the classic counterexample to "greedy
+/// without a priority queue" (hence the name).
+///
+/// # Panics
+///
+/// Panics if `n < 2` or the largest weight `n·(n-1)` exceeds
+/// [`Graph::MAX_WEIGHT`].
+pub fn wrong_dijkstra_killer(n: u32) -> Graph {
+    assert!(n >= 2, "the killer needs at least two nodes");
+    let c = n as Weight;
+    assert!(
+        c * (c - 1) <= Graph::MAX_WEIGHT,
+        "n too large: weights would exceed Graph::MAX_WEIGHT"
+    );
+    let mut b = Graph::builder(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let w = c * (j - i) as Weight - i as Weight;
+            b.add_edge(i, j, w).expect("killer edges are always valid");
+        }
+    }
+    b.build()
+}
+
+/// A Bellman–Ford / SPFA worst case on `2k` nodes: a unit-weight path
+/// `0 - 1 - … - (2k-1)` whose edges are *inserted in reverse order*, so each
+/// relaxation sweep over the edge list advances the frontier by exactly one
+/// hop (`Θ(n)` sweeps, `Θ(n·m)` work, defeating the early-exit), plus one
+/// shortcut `(0, i)` of weight `i + k` for every node `i` in the far half —
+/// finite overestimates that arrive instantly and then must be improved hop
+/// by hop, sweep after sweep.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn spfa_killer(k: u32) -> Graph {
+    assert!(k > 0, "the SPFA killer needs a positive half-length");
+    let n = 2 * k;
+    let mut b = Graph::builder(n);
+    for i in (0..n - 1).rev() {
+        b.add_edge(i, i + 1, 1).expect("path edges are always valid");
+    }
+    for i in k..n {
+        b.add_edge(0, i, (i + k) as Weight).expect("shortcut edges are always valid");
+    }
+    b.build()
+}
+
+/// A `side × side` grid whose shortest paths spiral: edges between two nodes
+/// of the same ring (ring = distance to the nearest border) cost 1, edges
+/// that cross rings cost `side²`. Geometrically adjacent nodes can be very
+/// far apart distance-wise, so any heuristic that trusts grid locality (or a
+/// heap that likes shallow keys) is punished; node `(r, c)` has id
+/// `r·side + c` as in [`grid`].
+///
+/// # Panics
+///
+/// Panics if `side == 0`.
+pub fn grid_swirl(side: u32) -> Graph {
+    assert!(side > 0, "a grid needs a positive side");
+    let ring = |r: u32, c: u32| r.min(c).min(side - 1 - r).min(side - 1 - c);
+    let cross = (side as Weight) * (side as Weight);
+    let mut b = Graph::builder(side * side);
+    for r in 0..side {
+        for c in 0..side {
+            let id = r * side + c;
+            if c + 1 < side {
+                let w = if ring(r, c) == ring(r, c + 1) { 1 } else { cross };
+                b.add_edge(id, id + 1, w).expect("grid edges are always valid");
+            }
+            if r + 1 < side {
+                let w = if ring(r, c) == ring(r + 1, c) { 1 } else { cross };
+                b.add_edge(id, id + side, w).expect("grid edges are always valid");
+            }
+        }
+    }
+    b.build()
+}
+
+/// An almost-line: a path `0 - 1 - … - (n-1)` with seeded random weights in
+/// `[1, 16]`, plus `n/32 + 1` seeded random long-range chords of weight in
+/// `[1, 1024]` (possibly parallel to existing edges — this is a multigraph).
+/// Maximal diameter with just enough shortcuts that tentative distances keep
+/// being revised long after the frontier passed by.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn almost_line(n: u32, seed: u64) -> Graph {
+    assert!(n >= 2, "an almost-line needs at least two nodes");
+    let mut r = rng(seed);
+    let mut b = Graph::builder(n);
+    for i in 0..n - 1 {
+        let w = r.gen_range(1..=16);
+        b.add_edge(i, i + 1, w).expect("path edges are always valid");
+    }
+    for _ in 0..(n / 32 + 1) {
+        let u = r.gen_range(0..n);
+        let v = loop {
+            let v = r.gen_range(0..n);
+            if v != u {
+                break v;
+            }
+        };
+        let w = r.gen_range(1..=1024);
+        b.add_edge(u, v, w).expect("chord edges are always valid");
+    }
+    b.build()
+}
+
+/// Max-dense: the complete graph on `n` nodes with seeded random weights in
+/// `[1, Graph::MAX_WEIGHT]`. The near-max weight range spreads keys across
+/// the full 41-bit distance spectrum, stressing every level of the radix
+/// heap's bucket hierarchy.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn max_dense(n: u32, seed: u64) -> Graph {
+    assert!(n > 0, "a complete graph needs at least one node");
+    let mut r = rng(seed);
+    let mut b = Graph::builder(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let w = r.gen_range(1..=Graph::MAX_WEIGHT);
+            b.add_edge(i, j, w).expect("complete-graph edges are always valid");
+        }
+    }
+    b.build()
+}
+
+/// Max-dense with zeros: the complete graph on `n` nodes with seeded random
+/// weights in `[0, 3]`. Almost every relaxation ties or near-ties, so the
+/// `(dist, node)` tie-break rule carries the entire determinism burden —
+/// the sharpest test that the radix heap's bucket-0 scan reproduces the
+/// binary heap's pop order.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn max_dense_zero(n: u32, seed: u64) -> Graph {
+    assert!(n > 0, "a complete graph needs at least one node");
+    let mut r = rng(seed);
+    let mut b = Graph::builder(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let w = r.gen_range(0..=3);
+            b.add_edge(i, j, w).expect("complete-graph edges are always valid");
+        }
+    }
+    b.build()
+}
+
 /// A disjoint union of `parts` copies of `g` (no edges between copies); useful
 /// for exercising multi-component behaviour (maximal *forests*, per-component
 /// coordination).
@@ -466,5 +632,89 @@ mod tests {
     #[should_panic(expected = "p must be in [0, 1]")]
     fn gnp_rejects_bad_probability() {
         let _ = erdos_renyi_gnp(10, 1.5, 0);
+    }
+
+    // --- killer-family self-checks ------------------------------------------
+
+    #[test]
+    fn wrong_dijkstra_killer_shape_and_storm() {
+        let n = 32;
+        let g = wrong_dijkstra_killer(n);
+        assert_eq!(g.node_count(), n);
+        assert_eq!(g.edge_count(), n * (n - 1) / 2);
+        assert_eq!(sequential::connected_components(&g).component_count, 1);
+        assert_eq!(g, wrong_dijkstra_killer(n), "deterministic construction");
+        // All weights positive; settle order from 0 is 0, 1, 2, … with the
+        // shortest path to i being the chain 0 → 1 → … → i.
+        assert!(g.edges().iter().all(|e| e.w >= 1));
+        let sp = sequential::dijkstra(&g, &[crate::NodeId(0)]);
+        let c = n as Weight;
+        let mut expected = 0;
+        for i in 1..n as usize {
+            expected += c - (i as Weight - 1); // w(i-1, i) = c·1 - (i-1)
+            assert_eq!(sp.distances[i].finite(), Some(expected), "chain distance to {i}");
+            assert_eq!(sp.parents[i], Some(crate::NodeId(i as u32 - 1)), "chain parent of {i}");
+        }
+    }
+
+    #[test]
+    fn spfa_killer_shape_and_sweep_blowup() {
+        let k = 16;
+        let g = spfa_killer(k);
+        assert_eq!(g.node_count(), 2 * k);
+        assert_eq!(g.edge_count(), (2 * k - 1) + k);
+        assert_eq!(sequential::connected_components(&g).component_count, 1);
+        assert_eq!(g, spfa_killer(k), "deterministic construction");
+        // True distances are the unit path; shortcuts are always overestimates.
+        let sp = sequential::dijkstra(&g, &[crate::NodeId(0)]);
+        for i in 0..2 * k as usize {
+            assert_eq!(sp.distances[i].finite(), Some(i as Weight));
+        }
+        assert_eq!(sequential::bellman_ford(&g, &[crate::NodeId(0)]).distances, sp.distances);
+    }
+
+    #[test]
+    fn grid_swirl_shape_and_spiraling_paths() {
+        let side = 8;
+        let g = grid_swirl(side);
+        assert_eq!(g.node_count(), side * side);
+        assert_eq!(g.edge_count(), 2 * side * (side - 1));
+        assert_eq!(sequential::connected_components(&g).component_count, 1);
+        assert_eq!(g, grid_swirl(side), "deterministic construction");
+        // Crossing from the outer ring inward costs side², so the geometric
+        // neighbor (1, 1) is far while the whole outer ring is near.
+        let sp = sequential::dijkstra(&g, &[crate::NodeId(0)]);
+        let far_corner = side * side - 1;
+        let inner = side + 1; // (1, 1), one ring in
+        assert!(sp.distances[far_corner as usize] < sp.distances[inner as usize]);
+    }
+
+    #[test]
+    fn almost_line_shape_and_determinism() {
+        let n = 100;
+        let g = almost_line(n, 5);
+        assert_eq!(g.node_count(), n);
+        assert_eq!(g.edge_count(), (n - 1) + (n / 32 + 1));
+        assert_eq!(sequential::connected_components(&g).component_count, 1);
+        assert_eq!(g, almost_line(n, 5), "same seed gives identical graph");
+        assert_ne!(g, almost_line(n, 6), "different seeds differ");
+    }
+
+    #[test]
+    fn max_dense_variants_shape_and_determinism() {
+        let n = 20;
+        let g = max_dense(n, 3);
+        assert_eq!(g.node_count(), n);
+        assert_eq!(g.edge_count(), n * (n - 1) / 2);
+        assert_eq!(sequential::connected_components(&g).component_count, 1);
+        assert_eq!(g, max_dense(n, 3), "same seed gives identical graph");
+        assert_ne!(g, max_dense(n, 4), "different seeds differ");
+        assert!(g.edges().iter().all(|e| e.w >= 1 && e.w <= Graph::MAX_WEIGHT));
+
+        let z = max_dense_zero(n, 3);
+        assert_eq!(z.edge_count(), n * (n - 1) / 2);
+        assert_eq!(z, max_dense_zero(n, 3), "same seed gives identical graph");
+        assert!(z.edges().iter().all(|e| e.w <= 3));
+        assert!(z.edges().iter().any(|e| e.w == 0), "zero weights present");
     }
 }

@@ -11,7 +11,10 @@
 //!   (paths, grids, Erdős–Rényi graphs, trees, barbells, …).
 //! * [`sequential`] — classical *sequential* shortest-path algorithms
 //!   (Dijkstra, Bellman–Ford, BFS, connected components, spanning forests)
-//!   used as ground truth when testing the distributed algorithms.
+//!   used as ground truth when testing the distributed algorithms. The
+//!   default Dijkstra runs on a monotone [`RadixHeap`]; the binary-heap
+//!   implementation is retained as `dijkstra_binary_heap` and pinned
+//!   bit-identical by `tests/radix_differential.rs`.
 //! * [`properties`] — structural queries (diameter, eccentricities, degrees).
 //!
 //! # Example
@@ -31,6 +34,7 @@
 mod distance;
 mod error;
 mod graph;
+mod radix_heap;
 
 pub mod generators;
 pub mod properties;
@@ -39,3 +43,4 @@ pub mod sequential;
 pub use distance::Distance;
 pub use error::GraphError;
 pub use graph::{Adjacency, Edge, EdgeId, Graph, GraphBuilder, NodeId, Weight};
+pub use radix_heap::RadixHeap;

@@ -9,7 +9,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use crate::{Distance, EdgeId, Graph, NodeId, Weight};
+use crate::{Distance, EdgeId, Graph, NodeId, RadixHeap, Weight};
 
 /// The result of a single-source / closest-source shortest-path computation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,16 +53,72 @@ impl ShortestPaths {
     }
 }
 
-/// Closest-source shortest paths by Dijkstra's algorithm with a binary heap.
+/// Closest-source shortest paths by Dijkstra's algorithm on a monotone
+/// [`RadixHeap`] — the workspace's default truth oracle.
 ///
 /// Works for any non-negative integer weights (including zero). With a single
 /// source this is ordinary SSSP; with several sources it computes
 /// `dist(S, v) = min_{s in S} dist(s, v)` — the CSSP problem of the paper.
+/// Pop order (and therefore parent pointers) is bit-identical to the retained
+/// binary-heap reference [`dijkstra_binary_heap`]: both settle in
+/// lexicographic `(dist, node)` order. The equivalence is pinned across every
+/// generator family by `tests/radix_differential.rs`.
 ///
 /// # Panics
 ///
 /// Panics if any source id is out of range.
 pub fn dijkstra(g: &Graph, sources: &[NodeId]) -> ShortestPaths {
+    let n = g.node_count() as usize;
+    let mut dist = vec![Distance::Infinite; n];
+    let mut parent = vec![None; n];
+    let mut heap = RadixHeap::new();
+    dijkstra_into(g, sources, &mut heap, &mut dist, &mut parent);
+    ShortestPaths { distances: dist, parents: parent }
+}
+
+/// The radix-heap Dijkstra core over caller-owned buffers, so [`all_pairs`]
+/// can reuse one heap and one distance/parent workspace across its `n` runs.
+/// Expects `dist` all-`Infinite`, `parent` all-`None`, and `heap` empty.
+fn dijkstra_into(
+    g: &Graph,
+    sources: &[NodeId],
+    heap: &mut RadixHeap,
+    dist: &mut [Distance],
+    parent: &mut [Option<NodeId>],
+) {
+    for &s in sources {
+        assert!(g.contains_node(s), "source {s} out of range");
+        dist[s.index()] = Distance::ZERO;
+        heap.push(0, s.0);
+    }
+    while let Some((d, v)) = heap.pop() {
+        let v = NodeId(v);
+        if Distance::Finite(d) > dist[v.index()] {
+            continue;
+        }
+        for adj in g.neighbors(v) {
+            // Monotone invariant: nd >= d, the heap's floor after this pop.
+            let nd = d.saturating_add(adj.weight);
+            if Distance::Finite(nd) < dist[adj.neighbor.index()] {
+                dist[adj.neighbor.index()] = Distance::Finite(nd);
+                parent[adj.neighbor.index()] = Some(v);
+                heap.push(nd, adj.neighbor.0);
+            }
+        }
+    }
+}
+
+/// The retained binary-heap Dijkstra reference implementation.
+///
+/// [`dijkstra`] (the radix-heap default) must stay bit-identical to this —
+/// distances *and* parents — on every input; `tests/radix_differential.rs`
+/// pins that across all generator families, including zero weights and
+/// disconnected graphs.
+///
+/// # Panics
+///
+/// Panics if any source id is out of range.
+pub fn dijkstra_binary_heap(g: &Graph, sources: &[NodeId]) -> ShortestPaths {
     let n = g.node_count() as usize;
     let mut dist = vec![Distance::Infinite; n];
     let mut parent = vec![None; n];
@@ -160,10 +216,24 @@ pub fn bfs(g: &Graph, sources: &[NodeId]) -> ShortestPaths {
     ShortestPaths { distances: dist, parents: parent }
 }
 
-/// All-pairs shortest paths: `result[u][v]` is `dist(u, v)`. Runs one Dijkstra
-/// per node, so it is the reference for the distributed APSP experiments.
+/// All-pairs shortest paths: `result[u][v]` is `dist(u, v)`. Runs one
+/// radix-heap Dijkstra per node — reusing a single heap and distance/parent
+/// workspace across all `n` runs — so it is the reference for the distributed
+/// APSP experiments.
 pub fn all_pairs(g: &Graph) -> Vec<Vec<Distance>> {
-    g.nodes().map(|s| dijkstra(g, &[s]).distances).collect()
+    let n = g.node_count() as usize;
+    let mut heap = RadixHeap::new();
+    let mut dist = vec![Distance::Infinite; n];
+    let mut parent = vec![None; n];
+    let mut rows = Vec::with_capacity(n);
+    for s in g.nodes() {
+        heap.clear();
+        dist.fill(Distance::Infinite);
+        parent.fill(None);
+        dijkstra_into(g, &[s], &mut heap, &mut dist, &mut parent);
+        rows.push(dist.clone());
+    }
+    rows
 }
 
 /// The result of a connected-components computation.
@@ -316,6 +386,20 @@ mod tests {
         assert!(sp.distance(NodeId(5)).is_infinite());
         assert_eq!(sp.path_to(NodeId(5)), None);
         assert_eq!(sp.reached_count(), 3);
+    }
+
+    #[test]
+    fn radix_and_binary_heap_dijkstra_are_bit_identical() {
+        for seed in 0..4 {
+            let g = generators::with_random_weights_zero(
+                &generators::random_connected(50, 90, seed),
+                40,
+                seed,
+            );
+            let a = dijkstra(&g, &[NodeId(0)]);
+            let b = dijkstra_binary_heap(&g, &[NodeId(0)]);
+            assert_eq!(a, b, "seed {seed}: distances and parents must match bit-for-bit");
+        }
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! Differential pinning of the radix-heap truth oracle: on *every* generator
+//! family — friendly, killer, zero-weight, and disconnected — the default
+//! [`sequential::dijkstra`] (monotone radix heap) must return distances *and*
+//! parent pointers bit-identical to the retained binary-heap reference
+//! [`sequential::dijkstra_binary_heap`], and the parents must reconstruct
+//! valid shortest paths.
+
+use congest_graph::{generators, sequential, Distance, Graph, NodeId};
+use proptest::prelude::*;
+
+/// Every generator family in the crate, indexed so proptest shrinks toward
+/// the simple deterministic topologies. Sizes are kept small because the
+/// dense families are quadratic.
+const FAMILIES: usize = 16;
+
+fn family(idx: usize, n: u32, seed: u64) -> Graph {
+    let n = n.max(2);
+    match idx {
+        0 => generators::path(n, 1 + seed % 7),
+        1 => generators::cycle(n.max(3), 1 + seed % 7),
+        2 => generators::star(n, 1 + seed % 7),
+        3 => generators::complete(n, 1 + seed % 7),
+        4 => generators::grid(2 + n % 5, 2 + (n / 5) % 5, 1 + seed % 7),
+        5 => generators::binary_tree(n, 1 + seed % 7),
+        6 => generators::random_tree(n, seed),
+        7 => generators::with_random_weights(
+            &generators::random_connected(n, 2 * n as u64, seed),
+            60,
+            seed,
+        ),
+        // Zero-weight edges on a random topology.
+        8 => generators::with_random_weights_zero(
+            &generators::random_connected(n, 2 * n as u64, seed),
+            9,
+            seed,
+        ),
+        // Disconnected: several weighted components.
+        9 => generators::disjoint_copies(
+            &generators::with_random_weights_zero(
+                &generators::random_connected(n / 2 + 2, n as u64, seed),
+                11,
+                seed,
+            ),
+            2 + (seed % 3) as u32,
+        ),
+        10 => generators::with_random_weights(&generators::barbell(n / 3 + 1, n % 5, 1), 30, seed),
+        11 => generators::broom(n / 2 + 1, n / 2, 1 + seed % 9),
+        // Killer families.
+        12 => generators::wrong_dijkstra_killer(n),
+        13 => generators::spfa_killer(n / 2 + 1),
+        14 => generators::grid_swirl(2 + n % 6),
+        15 => generators::almost_line(n.max(4), seed),
+        _ => unreachable!(),
+    }
+}
+
+/// The max-dense variants take their own strategy: they are quadratic *and*
+/// heavy-keyed, so sizes stay extra small.
+fn dense_variant(idx: usize, n: u32, seed: u64) -> Graph {
+    let n = n.clamp(2, 24);
+    if idx == 0 {
+        generators::max_dense(n, seed)
+    } else {
+        generators::max_dense_zero(n, seed)
+    }
+}
+
+/// Radix and binary agree bit-for-bit and the parents reconstruct paths whose
+/// (minimum-parallel-edge) weight sum equals the reported distance.
+fn assert_oracles_identical(g: &Graph, sources: &[NodeId]) {
+    let radix = sequential::dijkstra(g, sources);
+    let binary = sequential::dijkstra_binary_heap(g, sources);
+    assert_eq!(radix, binary, "radix vs binary heap diverged (distances or parents)");
+    for v in g.nodes() {
+        match radix.path_to(v) {
+            None => assert!(radix.distance(v).is_infinite()),
+            Some(path) => {
+                assert_eq!(path.last(), Some(&v));
+                assert!(sources.contains(&path[0]), "paths start at a source");
+                let mut total = 0;
+                for w in path.windows(2) {
+                    total += g.edge_weight(w[0], w[1]).expect("path edges exist");
+                }
+                assert_eq!(Distance::Finite(total), radix.distance(v), "path weight = distance");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Single-source agreement across every family.
+    #[test]
+    fn radix_matches_binary_on_every_family(
+        idx in 0usize..FAMILIES,
+        n in 4u32..28,
+        seed in 0u64..10_000,
+    ) {
+        let g = family(idx, n, seed);
+        let src = NodeId((seed % g.node_count() as u64) as u32);
+        assert_oracles_identical(&g, &[src]);
+    }
+
+    /// Multi-source agreement (the CSSP shape every distributed algorithm is
+    /// checked against) across every family.
+    #[test]
+    fn radix_matches_binary_multi_source(
+        idx in 0usize..FAMILIES,
+        n in 4u32..24,
+        seed in 0u64..10_000,
+    ) {
+        let g = family(idx, n, seed);
+        let n = g.node_count() as u64;
+        let a = NodeId((seed % n) as u32);
+        let b = NodeId(((seed / 3 + 1) % n) as u32);
+        assert_oracles_identical(&g, &[a, b]);
+    }
+
+    /// The max-dense variants: near-`MAX_WEIGHT` keys and all-zero-ish keys.
+    #[test]
+    fn radix_matches_binary_on_max_dense_variants(
+        idx in 0usize..2,
+        n in 2u32..24,
+        seed in 0u64..10_000,
+    ) {
+        let g = dense_variant(idx, n, seed);
+        let src = NodeId((seed % g.node_count() as u64) as u32);
+        assert_oracles_identical(&g, &[src]);
+    }
+}
+
+/// A deterministic (non-proptest) sweep so a plain `cargo test` exercises
+/// every family even with proptest's case budget reduced.
+#[test]
+fn radix_matches_binary_fixed_sweep() {
+    for idx in 0..FAMILIES {
+        for seed in 0..3 {
+            let g = family(idx, 12 + seed as u32, seed);
+            assert_oracles_identical(&g, &[NodeId(0)]);
+        }
+    }
+    for idx in 0..2 {
+        let g = dense_variant(idx, 16, 7);
+        assert_oracles_identical(&g, &[NodeId(0)]);
+    }
+}

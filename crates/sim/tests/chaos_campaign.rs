@@ -148,6 +148,39 @@ proptest! {
         assert_engines_equivalent_under_faults(&g, cfg, protocol_seed);
     }
 
+    /// The killer-family topologies (see `docs/SEQ_BASELINES.md`) built to
+    /// break sequential heap disciplines also serve as adversarial fault
+    /// substrates: dense decrease-key storms, shortcut-laden paths, and
+    /// spiral grids all replay identically through both engines under
+    /// random fault plans.
+    #[test]
+    fn engines_are_equivalent_on_killer_topologies_under_faults(
+        family in 0usize..4,
+        size in 3u32..10,
+        protocol_seed in 0u64..1_000_000,
+        plan_seed in 0u64..1_000_000,
+        drop_ppm in 0u32..400_000,
+        max_skew in 0u64..4,
+        crash_count in 0u32..5,
+        churn_seed in 0u64..1_000_000,
+    ) {
+        let g = match family {
+            0 => generators::wrong_dijkstra_killer(size.max(4)),
+            1 => generators::spfa_killer(size),
+            2 => generators::grid_swirl(size.min(5)),
+            _ => generators::almost_line(2 * size, plan_seed),
+        };
+        let plan =
+            build_plan(g.node_count(), plan_seed, drop_ppm, max_skew, crash_count, churn_seed);
+        let cfg = SimConfig {
+            strict_capacity: false,
+            record_edge_trace: true,
+            faults: plan,
+            ..SimConfig::default()
+        };
+        assert_engines_equivalent_under_faults(&g, cfg, protocol_seed);
+    }
+
     /// Determinism: the same plan replays the identical execution.
     #[test]
     fn the_same_plan_replays_bit_identically(

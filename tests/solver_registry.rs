@@ -9,13 +9,29 @@ use congest_sssp_suite::graph::{generators, sequential, Graph, NodeId};
 use congest_sssp_suite::sssp::{registry, Solver};
 use proptest::prelude::*;
 
-/// Small graphs: the all-pairs entry runs one SSSP instance per node.
+/// Small graphs: the all-pairs entry runs one SSSP instance per node. The
+/// mix alternates random connected graphs with the adversarial killer
+/// families of `generators` (see `docs/SEQ_BASELINES.md`), so every registry
+/// entrant is exercised on the workloads built to break heap disciplines and
+/// relaxation orders, not just on benign random topologies.
 fn small_weighted_graph() -> impl Strategy<Value = (Graph, NodeId)> {
-    (3u32..16, 0u64..20, 0u64..10_000, 1u64..24).prop_map(|(n, extra, seed, max_w)| {
-        let g = generators::random_connected(n, extra, seed);
-        let g = generators::with_random_weights(&g, max_w, seed ^ 0xd1ff);
-        (g, NodeId((seed % n as u64) as u32))
-    })
+    (3u32..16, 0u64..20, 0u64..10_000, 1u64..24, 0usize..6).prop_map(
+        |(n, extra, seed, max_w, family)| {
+            let g = match family {
+                0 => generators::wrong_dijkstra_killer(n.max(4)),
+                1 => generators::spfa_killer(n.max(2)),
+                2 => generators::grid_swirl(2 + n % 4),
+                3 => generators::almost_line(16 + n, seed),
+                4 => generators::max_dense(n.max(3), seed),
+                _ => {
+                    let g = generators::random_connected(n, extra, seed);
+                    generators::with_random_weights(&g, max_w, seed ^ 0xd1ff)
+                }
+            };
+            let n = g.node_count();
+            (g, NodeId((seed % n as u64) as u32))
+        },
+    )
 }
 
 proptest! {
